@@ -1,0 +1,252 @@
+#ifndef TWRS_BENCH_BENCH_COMMON_H_
+#define TWRS_BENCH_BENCH_COMMON_H_
+
+#include <stdlib.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/load_sort_store.h"
+#include "core/replacement_selection.h"
+#include "core/run_sink.h"
+#include "core/two_way_replacement_selection.h"
+#include "io/posix_env.h"
+#include "io/sim_disk_env.h"
+#include "merge/external_sorter.h"
+#include "merge/kway_merge.h"
+#include "stats/anova.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "workload/generators.h"
+
+namespace twrs {
+namespace bench {
+
+/// Workload scale multiplier, settable via TWRS_BENCH_SCALE (default 1).
+/// The defaults keep every benchmark binary under roughly a minute on a
+/// laptop; raise the scale to approach the paper's 100 MB–1 GB inputs.
+inline double Scale() {
+  const char* env = getenv("TWRS_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t n) {
+  return static_cast<uint64_t>(static_cast<double>(n) * Scale());
+}
+
+/// Aborts the benchmark on unexpected errors (benchmarks have no caller to
+/// propagate Status to).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    abort();
+  }
+}
+
+/// Creates a unique scratch directory under /tmp.
+inline std::string ScratchDir() {
+  std::string templ = "/tmp/twrs_bench_XXXXXX";
+  char* dir = mkdtemp(templ.data());
+  if (dir == nullptr) {
+    fprintf(stderr, "FATAL mkdtemp failed\n");
+    abort();
+  }
+  return std::string(dir);
+}
+
+/// Counts the runs RS generates for a dataset (no file I/O).
+inline RunGenStats CountRs(size_t memory, Dataset dataset,
+                           WorkloadOptions workload) {
+  auto source = MakeWorkload(dataset, workload);
+  ReplacementSelectionOptions options;
+  options.memory_records = memory;
+  ReplacementSelection rs(options);
+  CountingRunSink sink;
+  RunGenStats stats;
+  CheckOk(rs.Generate(source.get(), &sink, &stats), "RS generate");
+  return stats;
+}
+
+/// Counts the runs 2WRS generates for a dataset (no file I/O).
+inline RunGenStats Count2wrs(const TwoWayOptions& options, Dataset dataset,
+                             WorkloadOptions workload) {
+  auto source = MakeWorkload(dataset, workload);
+  TwoWayReplacementSelection twrs(options);
+  CountingRunSink sink;
+  RunGenStats stats;
+  CheckOk(twrs.Generate(source.get(), &sink, &stats), "2WRS generate");
+  return stats;
+}
+
+/// One timed end-to-end sort, mirroring the Chapter 6 measurements: the
+/// input is materialized to a file first, the sort reads it back through a
+/// simulated-disk Env, and both real and simulated times are reported for
+/// the run generation phase and the total.
+struct TimedSort {
+  uint64_t num_runs = 0;
+  double run_gen_seconds = 0.0;
+  double total_seconds = 0.0;
+  double sim_run_gen_seconds = 0.0;
+  double sim_total_seconds = 0.0;
+  uint64_t merge_steps = 0;
+};
+
+struct TimedSortSpec {
+  RunGenAlgorithm algorithm = RunGenAlgorithm::kTwoWayReplacementSelection;
+  Dataset dataset = Dataset::kRandom;
+  uint64_t records = 0;
+  size_t memory = 0;
+  size_t fan_in = 10;
+  uint64_t sections = 50;
+  uint64_t seed = 1;
+  std::string scratch_dir;
+};
+
+inline TimedSort RunTimedSort(const TimedSortSpec& spec) {
+  PosixEnv posix;
+  SimDiskEnv env(&posix);
+
+  WorkloadOptions workload;
+  workload.num_records = spec.records;
+  workload.sections = spec.sections;
+  workload.seed = spec.seed;
+  const std::string input_path = spec.scratch_dir + "/input";
+  CheckOk(WriteWorkloadToFile(&posix, spec.dataset, workload, input_path),
+          "write workload");
+
+  ExternalSortOptions options;
+  options.algorithm = spec.algorithm;
+  options.memory_records = spec.memory;
+  options.twrs = TwoWayOptions::Recommended(spec.memory, spec.seed);
+  options.fan_in = spec.fan_in;
+  options.temp_dir = spec.scratch_dir + "/tmp";
+  ExternalSorter sorter(&env, options);
+
+  FileRecordSource source(&env, input_path);
+  env.model().Reset();
+  ExternalSortResult result;
+  CheckOk(sorter.Sort(&source, spec.scratch_dir + "/out", &result), "sort");
+
+  TimedSort timed;
+  timed.num_runs = result.run_gen.num_runs();
+  timed.run_gen_seconds = result.run_gen_seconds;
+  timed.total_seconds = result.total_seconds;
+  timed.sim_total_seconds = env.model().SimulatedSeconds();
+  // Simulated run-generation time: replay only the run generation phase.
+  {
+    SimDiskEnv gen_env(&posix);
+    FileRecordSource gen_source(&gen_env, input_path);
+    FileRunSink sink(&gen_env, spec.scratch_dir + "/tmp", "gen_only");
+    CheckOk(gen_env.CreateDirIfMissing(spec.scratch_dir + "/tmp"),
+            "mkdir tmp");
+    std::unique_ptr<RunGenerator> generator;
+    switch (spec.algorithm) {
+      case RunGenAlgorithm::kReplacementSelection: {
+        ReplacementSelectionOptions rs;
+        rs.memory_records = spec.memory;
+        generator = std::make_unique<ReplacementSelection>(rs);
+        break;
+      }
+      case RunGenAlgorithm::kTwoWayReplacementSelection:
+        generator = std::make_unique<TwoWayReplacementSelection>(
+            TwoWayOptions::Recommended(spec.memory, spec.seed));
+        break;
+      case RunGenAlgorithm::kLoadSortStore: {
+        LoadSortStoreOptions lss;
+        lss.memory_records = spec.memory;
+        generator = std::make_unique<LoadSortStore>(lss);
+        break;
+      }
+    }
+    CheckOk(generator->Generate(&gen_source, &sink, nullptr), "gen replay");
+    timed.sim_run_gen_seconds = gen_env.model().SimulatedSeconds();
+    for (const RunInfo& run : sink.runs()) {
+      CheckOk(RemoveRunFiles(&posix, run), "cleanup");
+    }
+  }
+  timed.merge_steps = result.merge.merge_steps;
+  CheckOk(posix.RemoveFile(input_path), "cleanup input");
+  CheckOk(posix.RemoveFile(spec.scratch_dir + "/out"), "cleanup out");
+  return timed;
+}
+
+/// The four ANOVA factors of §5.2 with the paper's levels.
+inline constexpr int kBufferSetupLevels = 3;  // input only / both / victim only
+inline constexpr double kBufferSizeLevels[] = {0.0002, 0.002, 0.02, 0.2};
+inline constexpr int kNumBufferSizeLevels = 4;
+
+inline TwoWayOptions ConfigForLevels(size_t memory, int setup, int size,
+                                     int input_h, int output_h,
+                                     uint64_t seed) {
+  TwoWayOptions options;
+  options.memory_records = memory;
+  options.buffer_fraction = kBufferSizeLevels[size];
+  options.use_input_buffer = setup == 0 || setup == 1;
+  options.use_victim_buffer = setup == 1 || setup == 2;
+  options.input_heuristic = static_cast<InputHeuristic>(input_h);
+  options.output_heuristic = static_cast<OutputHeuristic>(output_h);
+  options.seed = seed;
+  return options;
+}
+
+/// Runs the §5.2 crossed factorial experiment for one dataset and returns
+/// ANOVA observations (factors: buffer setup, buffer size, input heuristic,
+/// output heuristic; response: number of runs).
+inline std::vector<Observation> RunFactorial(Dataset dataset, size_t memory,
+                                             uint64_t records, int seeds) {
+  std::vector<Observation> observations;
+  for (int setup = 0; setup < kBufferSetupLevels; ++setup) {
+    for (int size = 0; size < kNumBufferSizeLevels; ++size) {
+      for (int ih = 0; ih < kNumInputHeuristics; ++ih) {
+        for (int oh = 0; oh < kNumOutputHeuristics; ++oh) {
+          for (int seed = 1; seed <= seeds; ++seed) {
+            WorkloadOptions workload;
+            workload.num_records = records;
+            workload.seed = static_cast<uint64_t>(seed);
+            const TwoWayOptions options =
+                ConfigForLevels(memory, setup, size, ih, oh, seed);
+            const RunGenStats stats = Count2wrs(options, dataset, workload);
+            Observation obs;
+            obs.levels = {setup, size, ih, oh};
+            obs.y = static_cast<double>(stats.num_runs());
+            observations.push_back(std::move(obs));
+          }
+        }
+      }
+    }
+  }
+  return observations;
+}
+
+/// Prints an AnovaResult in the layout of the paper's Tables 5.2–5.11.
+inline void PrintAnovaTable(const AnovaResult& result,
+                            const std::vector<AnovaTerm>& terms,
+                            const std::vector<std::string>& factor_names) {
+  TablePrinter table({"Factor", "SS", "D.F.", "MSS", "F", "Sig.", "Power"});
+  for (size_t t = 0; t < result.rows.size(); ++t) {
+    const AnovaRow& row = result.rows[t];
+    table.AddRow({terms[t].Name(factor_names), TablePrinter::Num(row.ss, 3),
+                  std::to_string(row.df), TablePrinter::Num(row.ms, 3),
+                  TablePrinter::Num(row.f, 3),
+                  TablePrinter::Num(row.significance, 4),
+                  TablePrinter::Num(row.power, 3)});
+  }
+  table.AddRow({"Residual", TablePrinter::Num(result.ss_error, 3),
+                std::to_string(result.df_error),
+                TablePrinter::Num(result.ms_error, 3), "", "", ""});
+  table.Print(std::cout);
+  printf("R^2 = %.3f   sigma = %.3f   CV = %.2f%%   grand mean = %.2f\n",
+         result.r_squared, result.sigma, result.cv_percent,
+         result.grand_mean);
+}
+
+}  // namespace bench
+}  // namespace twrs
+
+#endif  // TWRS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,84 @@
+// Reproduces Figures 6.2 and 6.3 of the paper: run generation and total
+// sorting time for RANDOM input, (6.2) as a function of the memory
+// available with the input fixed, and (6.3) as a function of the input
+// size with the memory fixed. The paper finds RS and 2WRS nearly identical
+// on random data at every size — the headline "2WRS costs nothing when it
+// cannot help".
+
+#include "bench/bench_common.h"
+
+namespace twrs {
+namespace bench {
+namespace {
+
+void SweepMemory(const std::string& dir, Dataset dataset) {
+  const uint64_t records = Scaled(1000000);
+  printf("-- time vs memory (input fixed at %llu records) --\n",
+         static_cast<unsigned long long>(records));
+  TablePrinter table({"memory", "RS total s", "2WRS total s", "RS runs",
+                      "2WRS runs", "total 2WRS/RS", "sim 2WRS/RS"});
+  for (uint64_t memory : {1000, 5000, 20000, 100000}) {
+    TimedSortSpec spec;
+    spec.dataset = dataset;
+    spec.records = records;
+    spec.memory = static_cast<size_t>(memory);
+    spec.scratch_dir = dir;
+    spec.algorithm = RunGenAlgorithm::kReplacementSelection;
+    const TimedSort rs = RunTimedSort(spec);
+    spec.algorithm = RunGenAlgorithm::kTwoWayReplacementSelection;
+    const TimedSort twrs = RunTimedSort(spec);
+    table.AddRow({std::to_string(memory),
+                  TablePrinter::Num(rs.total_seconds, 3),
+                  TablePrinter::Num(twrs.total_seconds, 3),
+                  std::to_string(rs.num_runs), std::to_string(twrs.num_runs),
+                  TablePrinter::Num(twrs.total_seconds / rs.total_seconds, 2),
+                  TablePrinter::Num(
+                      twrs.sim_total_seconds / rs.sim_total_seconds, 2)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepInput(const std::string& dir, Dataset dataset) {
+  const size_t memory = static_cast<size_t>(Scaled(10000));
+  printf("\n-- time vs input size (memory fixed at %zu records) --\n", memory);
+  TablePrinter table({"records", "RS total s", "2WRS total s",
+                      "total 2WRS/RS", "sim 2WRS/RS"});
+  for (uint64_t records : {125000, 250000, 500000, 1000000}) {
+    TimedSortSpec spec;
+    spec.dataset = dataset;
+    spec.records = Scaled(records);
+    spec.memory = memory;
+    spec.scratch_dir = dir;
+    spec.algorithm = RunGenAlgorithm::kReplacementSelection;
+    const TimedSort rs = RunTimedSort(spec);
+    spec.algorithm = RunGenAlgorithm::kTwoWayReplacementSelection;
+    const TimedSort twrs = RunTimedSort(spec);
+    table.AddRow({std::to_string(Scaled(records)),
+                  TablePrinter::Num(rs.total_seconds, 3),
+                  TablePrinter::Num(twrs.total_seconds, 3),
+                  TablePrinter::Num(twrs.total_seconds / rs.total_seconds, 2),
+                  TablePrinter::Num(
+                      twrs.sim_total_seconds / rs.sim_total_seconds, 2)});
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  const std::string dir = ScratchDir();
+  printf("== Figures 6.2 / 6.3: random input timing, RS vs 2WRS ==\n\n");
+  SweepMemory(dir, Dataset::kRandom);
+  SweepInput(dir, Dataset::kRandom);
+  printf(
+      "\nExpected shape (paper): both algorithms take essentially the same\n"
+      "time at every memory and input size (ratio ~1.0), and both get\n"
+      "faster with more memory.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace twrs
+
+int main() {
+  twrs::bench::Run();
+  return 0;
+}

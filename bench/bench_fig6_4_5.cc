@@ -1,0 +1,81 @@
+// Reproduces Figures 6.4 and 6.5 of the paper: run generation and total
+// sorting time for MIXED input, as a function of memory (6.4) and of input
+// size (6.5). The paper measures 2WRS roughly 3x faster overall because it
+// generates drastically fewer runs, shrinking the merge phase; the speedup
+// is sustained as the input grows.
+
+#include "bench/bench_common.h"
+
+namespace twrs {
+namespace bench {
+namespace {
+
+void Run() {
+  const std::string dir = ScratchDir();
+  printf("== Figures 6.4 / 6.5: mixed input timing, RS vs 2WRS ==\n\n");
+
+  const uint64_t records = Scaled(1000000);
+  printf("-- time vs memory (input fixed at %llu records) --\n",
+         static_cast<unsigned long long>(records));
+  {
+    TablePrinter table({"memory", "RS total s", "2WRS total s", "RS runs",
+                        "2WRS runs", "speedup", "sim speedup"});
+    for (uint64_t memory : {1000, 5000, 20000, 100000}) {
+      TimedSortSpec spec;
+      spec.dataset = Dataset::kMixed;
+      spec.records = records;
+      spec.memory = static_cast<size_t>(memory);
+      spec.scratch_dir = dir;
+      spec.algorithm = RunGenAlgorithm::kReplacementSelection;
+      const TimedSort rs = RunTimedSort(spec);
+      spec.algorithm = RunGenAlgorithm::kTwoWayReplacementSelection;
+      const TimedSort twrs = RunTimedSort(spec);
+      table.AddRow({std::to_string(memory),
+                    TablePrinter::Num(rs.total_seconds, 3),
+                    TablePrinter::Num(twrs.total_seconds, 3),
+                    std::to_string(rs.num_runs), std::to_string(twrs.num_runs),
+                    TablePrinter::Num(rs.total_seconds / twrs.total_seconds, 2),
+                    TablePrinter::Num(
+                        rs.sim_total_seconds / twrs.sim_total_seconds, 2)});
+    }
+    table.Print(std::cout);
+  }
+
+  const size_t memory = static_cast<size_t>(Scaled(10000));
+  printf("\n-- time vs input size (memory fixed at %zu records) --\n", memory);
+  {
+    TablePrinter table({"records", "RS total s", "2WRS total s", "speedup",
+                        "sim speedup"});
+    for (uint64_t records_step : {125000, 250000, 500000, 1000000}) {
+      TimedSortSpec spec;
+      spec.dataset = Dataset::kMixed;
+      spec.records = Scaled(records_step);
+      spec.memory = memory;
+      spec.scratch_dir = dir;
+      spec.algorithm = RunGenAlgorithm::kReplacementSelection;
+      const TimedSort rs = RunTimedSort(spec);
+      spec.algorithm = RunGenAlgorithm::kTwoWayReplacementSelection;
+      const TimedSort twrs = RunTimedSort(spec);
+      table.AddRow({std::to_string(Scaled(records_step)),
+                    TablePrinter::Num(rs.total_seconds, 3),
+                    TablePrinter::Num(twrs.total_seconds, 3),
+                    TablePrinter::Num(rs.total_seconds / twrs.total_seconds, 2),
+                    TablePrinter::Num(
+                        rs.sim_total_seconds / twrs.sim_total_seconds, 2)});
+    }
+    table.Print(std::cout);
+  }
+  printf(
+      "\nExpected shape (paper): 2WRS sustains a ~3x speedup over RS at\n"
+      "every input size because the mixed dataset collapses to a handful\n"
+      "of runs, making the merge phase nearly free.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace twrs
+
+int main() {
+  twrs::bench::Run();
+  return 0;
+}

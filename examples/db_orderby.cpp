@@ -1,0 +1,113 @@
+// Database ORDER BY scenario (the paper's §7 motivation).
+//
+// A table stores two anticorrelated columns A and B — think `price` and
+// `discount`, or the paper's example of rows physically ordered by A while
+// a query wants ORDER BY B. Scanning the table in A-order feeds the sort
+// operator a reverse-sorted stream of B values: classic Replacement
+// Selection degrades to memory-sized runs, while 2WRS captures the
+// descending trend in its BottomHeap and emits a single run (Theorem 4),
+// which makes the merge phase a plain copy.
+//
+//   ./db_orderby [num_rows]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/record_source.h"
+#include "io/posix_env.h"
+#include "merge/external_sorter.h"
+#include "util/random.h"
+
+namespace {
+
+// Streams column B of a table whose rows arrive physically ordered by
+// column A, with B anticorrelated to A (B ~ C - A plus per-row jitter).
+class AnticorrelatedColumnScan : public twrs::RecordSource {
+ public:
+  AnticorrelatedColumnScan(uint64_t rows, uint64_t seed)
+      : rows_(rows), rng_(seed) {}
+
+  bool Next(twrs::Key* key) override {
+    if (row_ == rows_) return false;
+    const twrs::Key a = static_cast<twrs::Key>(row_) * 1000;  // scan order
+    const twrs::Key jitter = static_cast<twrs::Key>(rng_.Uniform(900));
+    *key = static_cast<twrs::Key>(rows_) * 1000 - a + jitter;  // column B
+    ++row_;
+    return true;
+  }
+
+ private:
+  uint64_t rows_;
+  uint64_t row_ = 0;
+  twrs::Random rng_;
+};
+
+struct QueryResult {
+  twrs::ExternalSortResult sort;
+  bool ok = false;
+};
+
+QueryResult RunOrderBy(twrs::Env* env, twrs::RunGenAlgorithm algorithm,
+                       uint64_t rows, const std::string& dir) {
+  twrs::ExternalSortOptions options;
+  options.algorithm = algorithm;
+  options.memory_records = 32 * 1024;  // the operator's memory quantum
+  options.twrs = twrs::TwoWayOptions::Recommended(options.memory_records);
+  options.temp_dir = dir + "/tmp_" +
+                     std::string(twrs::RunGenAlgorithmName(algorithm));
+  twrs::ExternalSorter sorter(env, options);
+
+  AnticorrelatedColumnScan scan(rows, /*seed=*/7);
+  QueryResult result;
+  const std::string out =
+      dir + "/orderby_" + twrs::RunGenAlgorithmName(algorithm);
+  twrs::Status status = sorter.Sort(&scan, out, &result.sort);
+  if (!status.ok()) {
+    fprintf(stderr, "sort: %s\n", status.ToString().c_str());
+    return result;
+  }
+  status = twrs::VerifySortedFile(env, out, nullptr, nullptr);
+  if (!status.ok()) {
+    fprintf(stderr, "verify: %s\n", status.ToString().c_str());
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t rows = argc > 1 ? strtoull(argv[1], nullptr, 10) : 2000000;
+  twrs::PosixEnv env;
+  const char* dir = "/tmp/twrs_orderby";
+  if (!env.CreateDirIfMissing(dir).ok()) return 1;
+
+  printf("SELECT * FROM t ORDER BY b  -- rows stored in a-order, b ~ -a\n");
+  printf("table: %" PRIu64 " rows, sort memory: 32Ki records\n\n", rows);
+
+  const QueryResult rs =
+      RunOrderBy(&env, twrs::RunGenAlgorithm::kReplacementSelection, rows,
+                 dir);
+  const QueryResult twrs_result = RunOrderBy(
+      &env, twrs::RunGenAlgorithm::kTwoWayReplacementSelection, rows, dir);
+  if (!rs.ok || !twrs_result.ok) return 1;
+
+  printf("%-28s %12s %12s\n", "", "RS", "2WRS");
+  printf("%-28s %12" PRIu64 " %12" PRIu64 "\n", "runs generated",
+         rs.sort.run_gen.num_runs(), twrs_result.sort.run_gen.num_runs());
+  printf("%-28s %12" PRIu64 " %12" PRIu64 "\n", "merge steps",
+         rs.sort.merge.merge_steps, twrs_result.sort.merge.merge_steps);
+  printf("%-28s %12" PRIu64 " %12" PRIu64 "\n", "records moved in merge",
+         rs.sort.merge.records_written,
+         twrs_result.sort.merge.records_written);
+  printf("%-28s %12.3f %12.3f\n", "total seconds", rs.sort.total_seconds,
+         twrs_result.sort.total_seconds);
+  printf("\nBoth outputs verified sorted. 2WRS turned the anticorrelated\n");
+  printf("scan into %" PRIu64 " run(s); RS needed %" PRIu64
+         " memory-sized runs and a full\nmerge pass over every record.\n",
+         twrs_result.sort.run_gen.num_runs(), rs.sort.run_gen.num_runs());
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "core/input_buffer.h"
+
+#include <cassert>
+
+namespace twrs {
+
+void MedianTracker::Insert(Key key) {
+  if (low_.empty() || key <= *low_.rbegin()) {
+    low_.insert(key);
+  } else {
+    high_.insert(key);
+  }
+  Rebalance();
+}
+
+void MedianTracker::Erase(Key key) {
+  auto it = low_.find(key);
+  if (it != low_.end()) {
+    low_.erase(it);
+  } else {
+    it = high_.find(key);
+    assert(it != high_.end());
+    high_.erase(it);
+  }
+  Rebalance();
+}
+
+Key MedianTracker::Median() const {
+  assert(!empty());
+  return *low_.rbegin();
+}
+
+void MedianTracker::Rebalance() {
+  // Invariant: |low| == |high| or |low| == |high| + 1.
+  if (low_.size() > high_.size() + 1) {
+    auto it = std::prev(low_.end());
+    high_.insert(*it);
+    low_.erase(it);
+  } else if (high_.size() > low_.size()) {
+    auto it = high_.begin();
+    low_.insert(*it);
+    high_.erase(it);
+  }
+}
+
+InputBuffer::InputBuffer(RecordSource* source, size_t capacity,
+                         bool track_median)
+    : source_(source), capacity_(capacity), track_median_(track_median) {}
+
+void InputBuffer::Refill() {
+  Key key;
+  while (!source_done_ && fifo_.size() < capacity_) {
+    if (!source_->Next(&key)) {
+      source_done_ = true;
+      break;
+    }
+    fifo_.push_back(key);
+    if (track_median_) median_.Insert(key);
+    sum_ += static_cast<double>(key);
+  }
+}
+
+bool InputBuffer::Next(Key* key) {
+  if (capacity_ == 0) {
+    stats_size_ = 0;
+    return source_->Next(key);
+  }
+  Refill();
+  if (fifo_.empty()) return false;
+  // Snapshot statistics over the full window, head included (§4.5 example).
+  stats_size_ = fifo_.size();
+  stats_mean_ = sum_ / static_cast<double>(fifo_.size());
+  if (track_median_) stats_median_ = median_.Median();
+  *key = fifo_.front();
+  fifo_.pop_front();
+  if (track_median_) median_.Erase(*key);
+  sum_ -= static_cast<double>(*key);
+  return true;
+}
+
+}  // namespace twrs

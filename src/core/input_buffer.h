@@ -1,0 +1,98 @@
+#ifndef TWRS_CORE_INPUT_BUFFER_H_
+#define TWRS_CORE_INPUT_BUFFER_H_
+
+#include <cstddef>
+#include <deque>
+#include <set>
+
+#include "core/record.h"
+#include "core/record_source.h"
+
+namespace twrs {
+
+/// Maintains the running median of a multiset under insertions and value
+/// erasures in O(log n), for the Median input heuristic (§4.2). Two balanced
+/// multisets: `low_` holds the smaller half (its max is the lower median).
+class MedianTracker {
+ public:
+  void Insert(Key key);
+
+  /// Removes one occurrence of `key`; must be present.
+  void Erase(Key key);
+
+  /// Lower median of the tracked values. Requires non-empty.
+  Key Median() const;
+
+  size_t size() const { return low_.size() + high_.size(); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  void Rebalance();
+
+  std::multiset<Key> low_;   // smaller half, |low_| == |high_| or |high_|+1
+  std::multiset<Key> high_;  // larger half
+};
+
+/// FIFO read-ahead buffer between the input stream and 2WRS (§4.2).
+///
+/// A window of upcoming records is kept so the input heuristics can sample
+/// the input distribution. Matching the worked example of §4.5, the
+/// statistics exposed after Next() are those of the window *including* the
+/// record just handed out (the buffer is refilled, the snapshot is taken,
+/// then the head is popped).
+///
+/// With capacity 0 the buffer is a pass-through and HasStats() is false;
+/// heuristics fall back to running statistics over the whole input seen.
+class InputBuffer {
+ public:
+  /// Does not take ownership of `source`. `track_median` enables the
+  /// median-order statistics (O(log n) per record); leave it off unless the
+  /// Median heuristic is in use — the mean costs O(1) either way.
+  InputBuffer(RecordSource* source, size_t capacity,
+              bool track_median = true);
+
+  /// Pops the next record (refilling the window first). Returns false at
+  /// end of input.
+  bool Next(Key* key);
+
+  /// True when buffered statistics are available (capacity > 0 and at least
+  /// one record was in the window at the last Next()).
+  bool HasStats() const { return stats_size_ > 0; }
+
+  /// Mean of the window at the last Next() (including the popped record).
+  double Mean() const { return stats_mean_; }
+
+  /// Lower median of the same window. Requires median tracking.
+  Key Median() const { return stats_median_; }
+
+  bool tracks_median() const { return track_median_; }
+
+  /// Sum and count of the records currently buffered (the unread
+  /// lookahead). Combined with the consumer's own running totals this
+  /// yields a mean estimate over everything seen so far plus the window.
+  double WindowSum() const { return sum_; }
+  size_t WindowSize() const { return fifo_.size(); }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return fifo_.size(); }
+
+ private:
+  void Refill();
+
+  RecordSource* source_;
+  size_t capacity_;
+  bool track_median_;
+  std::deque<Key> fifo_;
+  MedianTracker median_;
+  double sum_ = 0.0;
+  bool source_done_ = false;
+
+  // Snapshot taken by the most recent Next().
+  size_t stats_size_ = 0;
+  double stats_mean_ = 0.0;
+  Key stats_median_ = 0;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_CORE_INPUT_BUFFER_H_

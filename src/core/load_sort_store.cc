@@ -1,0 +1,37 @@
+#include "core/load_sort_store.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace twrs {
+
+LoadSortStore::LoadSortStore(LoadSortStoreOptions options)
+    : options_(options) {}
+
+Status LoadSortStore::Generate(RecordSource* source, RunSink* sink,
+                               RunGenStats* stats) {
+  if (options_.memory_records == 0) {
+    return Status::InvalidArgument("memory_records must be positive");
+  }
+  const size_t first_run = sink->runs().size();
+  std::vector<Key> block;
+  block.reserve(options_.memory_records);
+  for (;;) {
+    block.clear();
+    Key key;
+    while (block.size() < options_.memory_records && source->Next(&key)) {
+      block.push_back(key);
+    }
+    if (block.empty()) break;
+    std::sort(block.begin(), block.end());
+    TWRS_RETURN_IF_ERROR(sink->BeginRun());
+    for (Key k : block) TWRS_RETURN_IF_ERROR(sink->Append(kStream1, k));
+    TWRS_RETURN_IF_ERROR(sink->EndRun());
+    if (block.size() < options_.memory_records) break;  // input exhausted
+  }
+  TWRS_RETURN_IF_ERROR(sink->Finish());
+  FillStatsFromSink(*sink, first_run, stats);
+  return Status::OK();
+}
+
+}  // namespace twrs

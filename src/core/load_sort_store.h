@@ -1,0 +1,35 @@
+#ifndef TWRS_CORE_LOAD_SORT_STORE_H_
+#define TWRS_CORE_LOAD_SORT_STORE_H_
+
+#include <cstddef>
+
+#include "core/run_generator.h"
+
+namespace twrs {
+
+/// Options for the Load-Sort-Store baseline.
+struct LoadSortStoreOptions {
+  /// Records loaded (and sorted) per run.
+  size_t memory_records = 0;
+};
+
+/// Load-Sort-Store run generation (§2.1.1): fill memory, sort it with an
+/// internal sort, write the block out as one run. Every run has exactly the
+/// memory size (except possibly the last), which is the floor RS and 2WRS
+/// are measured against.
+class LoadSortStore : public RunGenerator {
+ public:
+  explicit LoadSortStore(LoadSortStoreOptions options);
+
+  Status Generate(RecordSource* source, RunSink* sink,
+                  RunGenStats* stats) override;
+
+  std::string name() const override { return "LSS"; }
+
+ private:
+  LoadSortStoreOptions options_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_CORE_LOAD_SORT_STORE_H_

@@ -1,0 +1,48 @@
+#ifndef TWRS_CORE_RECORD_H_
+#define TWRS_CORE_RECORD_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace twrs {
+
+/// Sorting key. The paper sorts 4-byte integer records; we use 64-bit keys so
+/// the library is usable beyond the paper's benchmark setting. Nothing in the
+/// algorithms depends on the key width.
+using Key = int64_t;
+
+/// Serialized size of one record on disk (little-endian Key).
+inline constexpr size_t kRecordBytes = sizeof(Key);
+
+/// A record tagged with the run it belongs to during run generation.
+/// Records marked as belonging to a later run sink below all records of the
+/// current run inside the selection heaps (§3.3).
+struct TaggedRecord {
+  Key key = 0;
+  uint32_t run = 0;
+
+  friend bool operator==(const TaggedRecord& a, const TaggedRecord& b) {
+    return a.key == b.key && a.run == b.run;
+  }
+};
+
+/// Serializes `key` into `out` (little-endian, kRecordBytes bytes).
+inline void EncodeKey(Key key, uint8_t* out) {
+  uint64_t u = static_cast<uint64_t>(key);
+  for (size_t i = 0; i < kRecordBytes; ++i) {
+    out[i] = static_cast<uint8_t>(u >> (8 * i));
+  }
+}
+
+/// Deserializes a key written by EncodeKey.
+inline Key DecodeKey(const uint8_t* in) {
+  uint64_t u = 0;
+  for (size_t i = 0; i < kRecordBytes; ++i) {
+    u |= static_cast<uint64_t>(in[i]) << (8 * i);
+  }
+  return static_cast<Key>(u);
+}
+
+}  // namespace twrs
+
+#endif  // TWRS_CORE_RECORD_H_

@@ -1,0 +1,45 @@
+#ifndef TWRS_CORE_RECORD_SOURCE_H_
+#define TWRS_CORE_RECORD_SOURCE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/record.h"
+
+namespace twrs {
+
+/// A stream of input records. Run generation algorithms consume records one
+/// at a time so that inputs never need to fit in memory — exactly the
+/// database setting the paper targets, where upstream operators feed the
+/// sort incrementally.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  /// Produces the next record in `*key`; returns false at end of stream.
+  virtual bool Next(Key* key) = 0;
+};
+
+/// RecordSource over an in-memory vector (test and example helper).
+class VectorSource : public RecordSource {
+ public:
+  explicit VectorSource(std::vector<Key> keys) : keys_(std::move(keys)) {}
+
+  bool Next(Key* key) override {
+    if (pos_ == keys_.size()) return false;
+    *key = keys_[pos_++];
+    return true;
+  }
+
+  /// Rewinds to the beginning.
+  void Reset() { pos_ = 0; }
+
+ private:
+  std::vector<Key> keys_;
+  size_t pos_ = 0;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_CORE_RECORD_SOURCE_H_

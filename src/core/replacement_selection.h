@@ -1,0 +1,41 @@
+#ifndef TWRS_CORE_REPLACEMENT_SELECTION_H_
+#define TWRS_CORE_REPLACEMENT_SELECTION_H_
+
+#include <cstddef>
+
+#include "core/run_generator.h"
+
+namespace twrs {
+
+/// Options for classic Replacement Selection.
+struct ReplacementSelectionOptions {
+  /// Heap capacity in records ("available memory" in the paper).
+  size_t memory_records = 0;
+};
+
+/// Classic Replacement Selection (Goetz 1963; §3.3–§3.4, Algorithm 1).
+///
+/// A min-heap of (run, key) pairs holds one memory's worth of records. Each
+/// step pops the smallest current-run record to the output run and reads one
+/// replacement from the input; replacements smaller than the last output
+/// cannot extend the current run and are tagged for the next run, which
+/// makes them sink below every current-run record. A run ends when the heap
+/// top belongs to the next run. For random input the expected run length is
+/// twice the memory (§3.5); for reverse-sorted input it degrades to exactly
+/// the memory size (Theorem 3) — the weakness 2WRS removes.
+class ReplacementSelection : public RunGenerator {
+ public:
+  explicit ReplacementSelection(ReplacementSelectionOptions options);
+
+  Status Generate(RecordSource* source, RunSink* sink,
+                  RunGenStats* stats) override;
+
+  std::string name() const override { return "RS"; }
+
+ private:
+  ReplacementSelectionOptions options_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_CORE_REPLACEMENT_SELECTION_H_

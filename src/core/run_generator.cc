@@ -1,0 +1,17 @@
+#include "core/run_generator.h"
+
+namespace twrs {
+
+void FillStatsFromSink(const RunSink& sink, size_t first_run,
+                       RunGenStats* stats) {
+  if (stats == nullptr) return;
+  stats->run_lengths.clear();
+  stats->total_records = 0;
+  for (size_t i = first_run; i < sink.runs().size(); ++i) {
+    const uint64_t len = sink.runs()[i].length;
+    stats->run_lengths.push_back(len);
+    stats->total_records += len;
+  }
+}
+
+}  // namespace twrs

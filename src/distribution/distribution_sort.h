@@ -1,0 +1,52 @@
+#ifndef TWRS_DISTRIBUTION_DISTRIBUTION_SORT_H_
+#define TWRS_DISTRIBUTION_DISTRIBUTION_SORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/record_source.h"
+#include "io/env.h"
+#include "io/record_io.h"
+#include "util/status.h"
+
+namespace twrs {
+
+/// Configuration of external distribution (bucket) sort (§2.2).
+struct DistributionSortOptions {
+  /// In-memory budget in records: buckets at or below this size are sorted
+  /// in memory instead of recursing.
+  size_t memory_records = 1 << 16;
+
+  /// Buckets per distribution pass. Ranges are split uniformly (§2.2's
+  /// simplest variant), so clustered inputs recurse deeper.
+  size_t num_buckets = 16;
+
+  /// Recursion ceiling; beyond it a bucket falls back to an in-memory-less
+  /// safe path (external mergesort on that bucket). Guards against
+  /// pathological clustering (all-equal keys).
+  size_t max_depth = 16;
+
+  std::string temp_dir = "/tmp/twrs_dist";
+  size_t block_bytes = kDefaultBlockBytes;
+};
+
+/// Distribution sort statistics.
+struct DistributionSortStats {
+  uint64_t distribution_passes = 0;  ///< bucket-splitting passes performed
+  uint64_t in_memory_sorts = 0;      ///< leaf buckets sorted in memory
+  uint64_t fallback_sorts = 0;       ///< buckets handed to external mergesort
+  uint64_t max_depth_reached = 0;
+};
+
+/// Sorts `source` into the record file at `output_path` using the
+/// distribution paradigm: records are partitioned into range-disjoint
+/// bucket files, each bucket is sorted (recursively when it exceeds
+/// memory), and the sorted buckets are concatenated — no merge phase (§2.2).
+Status DistributionSort(Env* env, RecordSource* source,
+                        const DistributionSortOptions& options,
+                        const std::string& output_path,
+                        DistributionSortStats* stats);
+
+}  // namespace twrs
+
+#endif  // TWRS_DISTRIBUTION_DISTRIBUTION_SORT_H_

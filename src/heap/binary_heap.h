@@ -1,0 +1,101 @@
+#ifndef TWRS_HEAP_BINARY_HEAP_H_
+#define TWRS_HEAP_BINARY_HEAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace twrs {
+
+/// Array-backed binary heap (§3.1 of the paper).
+///
+/// `HigherPriority(a, b)` returns true when `a` must be popped before `b`;
+/// passing a less-than predicate yields a min-heap, a greater-than predicate
+/// a max-heap. The tree is stored level by level in a contiguous array with
+/// the classic index mapping: parent(i) = (i-1)/2, children 2i+1 and 2i+2
+/// (§3.1.2), giving O(log n) Push/Pop with zero allocation after Reserve.
+template <typename T, typename HigherPriority>
+class BinaryHeap {
+ public:
+  explicit BinaryHeap(HigherPriority prior = HigherPriority())
+      : prior_(std::move(prior)) {}
+
+  /// Pre-allocates capacity for `n` elements.
+  void Reserve(size_t n) { slots_.reserve(n); }
+
+  bool empty() const { return slots_.empty(); }
+  size_t size() const { return slots_.size(); }
+
+  /// Highest-priority element. Requires non-empty.
+  const T& Top() const {
+    assert(!slots_.empty());
+    return slots_.front();
+  }
+
+  /// Adds an element ("upheap", §3.1.1).
+  void Push(const T& value) {
+    slots_.push_back(value);
+    SiftUp(slots_.size() - 1);
+  }
+
+  /// Removes and returns the highest-priority element ("downheap", §3.1.1).
+  T Pop() {
+    assert(!slots_.empty());
+    T top = slots_.front();
+    slots_.front() = slots_.back();
+    slots_.pop_back();
+    if (!slots_.empty()) SiftDown(0);
+    return top;
+  }
+
+  /// Removes an arbitrary leaf in O(1): the last array slot. Used by the
+  /// Balancing heuristic to migrate records between heaps cheaply.
+  T PopLastLeaf() {
+    assert(!slots_.empty());
+    T leaf = slots_.back();
+    slots_.pop_back();
+    return leaf;
+  }
+
+  /// Verifies the heap property everywhere; O(n). Test helper.
+  bool IsValidHeap() const {
+    for (size_t i = 1; i < slots_.size(); ++i) {
+      if (prior_(slots_[i], slots_[(i - 1) / 2])) return false;
+    }
+    return true;
+  }
+
+  void Clear() { slots_.clear(); }
+
+ private:
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (!prior_(slots_[i], slots_[parent])) break;
+      std::swap(slots_[i], slots_[parent]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = slots_.size();
+    for (;;) {
+      size_t best = i;
+      size_t left = 2 * i + 1;
+      size_t right = 2 * i + 2;
+      if (left < n && prior_(slots_[left], slots_[best])) best = left;
+      if (right < n && prior_(slots_[right], slots_[best])) best = right;
+      if (best == i) return;
+      std::swap(slots_[i], slots_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<T> slots_;
+  HigherPriority prior_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_HEAP_BINARY_HEAP_H_

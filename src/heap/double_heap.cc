@@ -1,0 +1,110 @@
+#include "heap/double_heap.h"
+
+#include <cassert>
+#include <utility>
+
+namespace twrs {
+
+const char* HeapSideName(HeapSide side) {
+  return side == HeapSide::kBottom ? "Bottom" : "Top";
+}
+
+DoubleHeap::DoubleHeap(size_t capacity) : slots_(capacity) {}
+
+bool DoubleHeap::Before(HeapSide side, const TaggedRecord& a,
+                        const TaggedRecord& b) {
+  if (a.run != b.run) return a.run < b.run;
+  // Within a run the BottomHeap is a max-heap and the TopHeap a min-heap.
+  return side == HeapSide::kBottom ? a.key > b.key : a.key < b.key;
+}
+
+bool DoubleHeap::Push(HeapSide side, const TaggedRecord& record) {
+  if (Full()) return false;
+  size_t& n = side == HeapSide::kBottom ? bottom_size_ : top_size_;
+  slots_[Slot(side, n)] = record;
+  ++n;
+  SiftUp(side, n - 1);
+  return true;
+}
+
+const TaggedRecord& DoubleHeap::Top(HeapSide side) const {
+  assert(!Empty(side));
+  return slots_[Slot(side, 0)];
+}
+
+TaggedRecord DoubleHeap::Pop(HeapSide side) {
+  assert(!Empty(side));
+  size_t& n = side == HeapSide::kBottom ? bottom_size_ : top_size_;
+  TaggedRecord top = slots_[Slot(side, 0)];
+  slots_[Slot(side, 0)] = slots_[Slot(side, n - 1)];
+  --n;
+  if (n > 0) SiftDown(side, 0);
+  return top;
+}
+
+TaggedRecord DoubleHeap::PopLastLeaf(HeapSide side) {
+  assert(!Empty(side));
+  size_t& n = side == HeapSide::kBottom ? bottom_size_ : top_size_;
+  TaggedRecord leaf = slots_[Slot(side, n - 1)];
+  --n;
+  return leaf;
+}
+
+bool DoubleHeap::TopIsRun(HeapSide side, uint32_t run) const {
+  return !Empty(side) && Top(side).run == run;
+}
+
+void DoubleHeap::SiftUp(HeapSide side, size_t logical) {
+  while (logical > 0) {
+    size_t parent = (logical - 1) / 2;
+    TaggedRecord& child_rec = slots_[Slot(side, logical)];
+    TaggedRecord& parent_rec = slots_[Slot(side, parent)];
+    if (!Before(side, child_rec, parent_rec)) break;
+    std::swap(child_rec, parent_rec);
+    logical = parent;
+  }
+}
+
+void DoubleHeap::SiftDown(HeapSide side, size_t logical) {
+  const size_t n = SideSize(side);
+  for (;;) {
+    size_t best = logical;
+    const size_t left = 2 * logical + 1;
+    const size_t right = 2 * logical + 2;
+    if (left < n &&
+        Before(side, slots_[Slot(side, left)], slots_[Slot(side, best)])) {
+      best = left;
+    }
+    if (right < n &&
+        Before(side, slots_[Slot(side, right)], slots_[Slot(side, best)])) {
+      best = right;
+    }
+    if (best == logical) return;
+    std::swap(slots_[Slot(side, logical)], slots_[Slot(side, best)]);
+    logical = best;
+  }
+}
+
+void DoubleHeap::AppendContents(std::vector<TaggedRecord>* out) const {
+  out->reserve(out->size() + size());
+  for (size_t i = 0; i < bottom_size_; ++i) {
+    out->push_back(slots_[Slot(HeapSide::kBottom, i)]);
+  }
+  for (size_t i = 0; i < top_size_; ++i) {
+    out->push_back(slots_[Slot(HeapSide::kTop, i)]);
+  }
+}
+
+bool DoubleHeap::IsValid() const {
+  for (HeapSide side : {HeapSide::kBottom, HeapSide::kTop}) {
+    const size_t n = SideSize(side);
+    for (size_t i = 1; i < n; ++i) {
+      if (Before(side, slots_[Slot(side, i)], slots_[Slot(side, (i - 1) / 2)])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace twrs

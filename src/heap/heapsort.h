@@ -1,0 +1,25 @@
+#ifndef TWRS_HEAP_HEAPSORT_H_
+#define TWRS_HEAP_HEAPSORT_H_
+
+#include <functional>
+#include <vector>
+
+#include "heap/binary_heap.h"
+
+namespace twrs {
+
+/// Heapsort (§3.2): inserts all elements into a heap, then pops them back in
+/// order. O(n log n) worst case. The paper's exposition (and this
+/// implementation) uses a separate heap rather than sorting in place; the
+/// run-generation algorithms build directly on the same heap operations.
+template <typename T, typename Less = std::less<T>>
+void HeapSort(std::vector<T>* values, Less less = Less()) {
+  BinaryHeap<T, Less> heap(less);
+  heap.Reserve(values->size());
+  for (const T& v : *values) heap.Push(v);
+  for (size_t i = 0; i < values->size(); ++i) (*values)[i] = heap.Pop();
+}
+
+}  // namespace twrs
+
+#endif  // TWRS_HEAP_HEAPSORT_H_

@@ -1,0 +1,14 @@
+#include "io/env.h"
+
+#include "io/posix_env.h"
+
+namespace twrs {
+
+Env* Env::Default() {
+  // Never destroyed: avoids static destruction order issues (see style guide
+  // on static storage duration objects).
+  static Env* const kDefault = new PosixEnv();
+  return kDefault;
+}
+
+}  // namespace twrs

@@ -1,0 +1,92 @@
+#ifndef TWRS_IO_ENV_H_
+#define TWRS_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace twrs {
+
+/// Append-only file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `n` bytes to the file.
+  virtual Status Append(const void* data, size_t n) = 0;
+
+  /// Flushes buffered data and closes the handle. Idempotent.
+  virtual Status Close() = 0;
+};
+
+/// Sequentially readable file handle.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes; `*bytes_read` < n signals end of file.
+  virtual Status Read(void* out, size_t n, size_t* bytes_read) = 0;
+
+  /// Skips `n` bytes forward.
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// Random-access read/write handle used by the reverse run file format
+/// (Appendix A), which writes pages back to front.
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+
+  /// Writes `n` bytes at absolute `offset`, extending the file if needed.
+  virtual Status WriteAt(uint64_t offset, const void* data, size_t n) = 0;
+
+  /// Reads exactly `n` bytes at `offset`; fails if the range is short.
+  virtual Status ReadAt(uint64_t offset, void* out, size_t n) = 0;
+
+  virtual Status Close() = 0;
+};
+
+/// Abstraction over the storage system (RocksDB idiom). The library performs
+/// all file I/O through an Env so that tests can run against an in-memory
+/// filesystem and benchmarks can run against a simulated disk model.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates (truncating) a sequential-write file.
+  virtual Status NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* out) = 0;
+
+  /// Opens an existing file for sequential reads.
+  virtual Status NewSequentialFile(const std::string& path,
+                                   std::unique_ptr<SequentialFile>* out) = 0;
+
+  /// Creates (truncating) a positioned read/write file.
+  virtual Status NewRandomRWFile(const std::string& path,
+                                 std::unique_ptr<RandomRWFile>* out) = 0;
+
+  /// Opens an existing file for positioned read/write without truncation.
+  virtual Status ReopenRandomRWFile(const std::string& path,
+                                    std::unique_ptr<RandomRWFile>* out) = 0;
+
+  /// Opens an existing file for positioned reads.
+  virtual Status NewRandomReadFile(const std::string& path,
+                                   std::unique_ptr<RandomRWFile>* out) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status GetFileSize(const std::string& path, uint64_t* size) = 0;
+
+  /// Creates a directory (and parents) if missing; OK if it already exists.
+  virtual Status CreateDirIfMissing(const std::string& path) = 0;
+
+  /// Returns the process-wide POSIX environment.
+  static Env* Default();
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_IO_ENV_H_

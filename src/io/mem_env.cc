@@ -1,0 +1,144 @@
+#include "io/mem_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace twrs {
+
+namespace {
+
+using Bytes = std::vector<uint8_t>;
+
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<Bytes> data)
+      : data_(std::move(data)) {}
+
+  Status Append(const void* data, size_t n) override {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    data_->insert(data_->end(), p, p + n);
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<Bytes> data_;
+};
+
+class MemSequentialFile : public SequentialFile {
+ public:
+  explicit MemSequentialFile(std::shared_ptr<Bytes> data)
+      : data_(std::move(data)) {}
+
+  Status Read(void* out, size_t n, size_t* bytes_read) override {
+    size_t avail = data_->size() - pos_;
+    size_t take = std::min(n, avail);
+    std::memcpy(out, data_->data() + pos_, take);
+    pos_ += take;
+    *bytes_read = take;
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ = std::min(data_->size(), pos_ + static_cast<size_t>(n));
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<Bytes> data_;
+  size_t pos_ = 0;
+};
+
+class MemRandomRWFile : public RandomRWFile {
+ public:
+  explicit MemRandomRWFile(std::shared_ptr<Bytes> data)
+      : data_(std::move(data)) {}
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    if (offset + n > data_->size()) data_->resize(offset + n, 0);
+    std::memcpy(data_->data() + offset, data, n);
+    return Status::OK();
+  }
+
+  Status ReadAt(uint64_t offset, void* out, size_t n) override {
+    if (offset + n > data_->size()) {
+      return Status::IOError("short read in mem file");
+    }
+    std::memcpy(out, data_->data() + offset, n);
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<Bytes> data_;
+};
+
+}  // namespace
+
+Status MemEnv::NewWritableFile(const std::string& path,
+                               std::unique_ptr<WritableFile>* out) {
+  auto data = std::make_shared<Bytes>();
+  files_[path] = data;
+  out->reset(new MemWritableFile(std::move(data)));
+  return Status::OK();
+}
+
+Status MemEnv::NewSequentialFile(const std::string& path,
+                                 std::unique_ptr<SequentialFile>* out) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  out->reset(new MemSequentialFile(it->second));
+  return Status::OK();
+}
+
+Status MemEnv::NewRandomRWFile(const std::string& path,
+                               std::unique_ptr<RandomRWFile>* out) {
+  auto data = std::make_shared<Bytes>();
+  files_[path] = data;
+  out->reset(new MemRandomRWFile(std::move(data)));
+  return Status::OK();
+}
+
+Status MemEnv::ReopenRandomRWFile(const std::string& path,
+                                  std::unique_ptr<RandomRWFile>* out) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  out->reset(new MemRandomRWFile(it->second));
+  return Status::OK();
+}
+
+Status MemEnv::NewRandomReadFile(const std::string& path,
+                                 std::unique_ptr<RandomRWFile>* out) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  out->reset(new MemRandomRWFile(it->second));
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  return files_.count(path) > 0;
+}
+
+Status MemEnv::RemoveFile(const std::string& path) {
+  if (files_.erase(path) == 0) return Status::NotFound(path);
+  return Status::OK();
+}
+
+Status MemEnv::GetFileSize(const std::string& path, uint64_t* size) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  *size = it->second->size();
+  return Status::OK();
+}
+
+Status MemEnv::CreateDirIfMissing(const std::string&) { return Status::OK(); }
+
+const std::vector<uint8_t>* MemEnv::FileContents(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace twrs

@@ -1,0 +1,48 @@
+#ifndef TWRS_IO_MEM_ENV_H_
+#define TWRS_IO_MEM_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+namespace twrs {
+
+/// In-memory Env used by the test suite. Every file is a byte vector keyed by
+/// path; directories are implicit. Single-threaded, like the library.
+class MemEnv : public Env {
+ public:
+  MemEnv() = default;
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override;
+  Status NewSequentialFile(const std::string& path,
+                           std::unique_ptr<SequentialFile>* out) override;
+  Status NewRandomRWFile(const std::string& path,
+                         std::unique_ptr<RandomRWFile>* out) override;
+  Status ReopenRandomRWFile(const std::string& path,
+                            std::unique_ptr<RandomRWFile>* out) override;
+  Status NewRandomReadFile(const std::string& path,
+                           std::unique_ptr<RandomRWFile>* out) override;
+  bool FileExists(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status GetFileSize(const std::string& path, uint64_t* size) override;
+  Status CreateDirIfMissing(const std::string& path) override;
+
+  /// Number of files currently stored (test helper).
+  size_t FileCount() const { return files_.size(); }
+
+  /// Direct access to a file's bytes (test helper); null if absent.
+  const std::vector<uint8_t>* FileContents(const std::string& path) const;
+
+ private:
+  // Shared so that open handles survive RemoveFile, as POSIX does.
+  std::map<std::string, std::shared_ptr<std::vector<uint8_t>>> files_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_IO_MEM_ENV_H_

@@ -1,0 +1,32 @@
+#ifndef TWRS_IO_POSIX_ENV_H_
+#define TWRS_IO_POSIX_ENV_H_
+
+#include "io/env.h"
+
+namespace twrs {
+
+/// Env backed by the POSIX filesystem API. This is the production
+/// environment; prefer Env::Default() to instantiating it directly.
+class PosixEnv : public Env {
+ public:
+  PosixEnv() = default;
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override;
+  Status NewSequentialFile(const std::string& path,
+                           std::unique_ptr<SequentialFile>* out) override;
+  Status NewRandomRWFile(const std::string& path,
+                         std::unique_ptr<RandomRWFile>* out) override;
+  Status ReopenRandomRWFile(const std::string& path,
+                            std::unique_ptr<RandomRWFile>* out) override;
+  Status NewRandomReadFile(const std::string& path,
+                           std::unique_ptr<RandomRWFile>* out) override;
+  bool FileExists(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status GetFileSize(const std::string& path, uint64_t* size) override;
+  Status CreateDirIfMissing(const std::string& path) override;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_IO_POSIX_ENV_H_

@@ -1,0 +1,101 @@
+#include "io/record_io.h"
+
+#include <algorithm>
+
+namespace twrs {
+
+RecordWriter::RecordWriter(Env* env, const std::string& path,
+                           size_t block_bytes) {
+  // Round the buffer down to a whole number of records (at least one).
+  size_t records_per_block = std::max<size_t>(1, block_bytes / kRecordBytes);
+  buffer_.resize(records_per_block * kRecordBytes);
+  status_ = env->NewWritableFile(path, &file_);
+}
+
+RecordWriter::~RecordWriter() {
+  if (!finished_ && file_ != nullptr) Finish();
+}
+
+Status RecordWriter::Append(Key key) {
+  TWRS_RETURN_IF_ERROR(status_);
+  EncodeKey(key, buffer_.data() + buffer_used_);
+  buffer_used_ += kRecordBytes;
+  ++count_;
+  if (buffer_used_ == buffer_.size()) {
+    status_ = file_->Append(buffer_.data(), buffer_used_);
+    buffer_used_ = 0;
+  }
+  return status_;
+}
+
+Status RecordWriter::Finish() {
+  if (finished_) return status_;
+  finished_ = true;
+  TWRS_RETURN_IF_ERROR(status_);
+  if (buffer_used_ > 0) {
+    status_ = file_->Append(buffer_.data(), buffer_used_);
+    buffer_used_ = 0;
+    TWRS_RETURN_IF_ERROR(status_);
+  }
+  status_ = file_->Close();
+  return status_;
+}
+
+RecordReader::RecordReader(Env* env, const std::string& path,
+                           size_t block_bytes) {
+  size_t records_per_block = std::max<size_t>(1, block_bytes / kRecordBytes);
+  buffer_.resize(records_per_block * kRecordBytes);
+  status_ = env->NewSequentialFile(path, &file_);
+}
+
+Status RecordReader::Next(Key* key, bool* eof) {
+  TWRS_RETURN_IF_ERROR(status_);
+  *eof = false;
+  if (buffer_pos_ == buffer_size_) {
+    if (at_eof_) {
+      *eof = true;
+      return Status::OK();
+    }
+    size_t got = 0;
+    status_ = file_->Read(buffer_.data(), buffer_.size(), &got);
+    TWRS_RETURN_IF_ERROR(status_);
+    if (got < buffer_.size()) at_eof_ = true;
+    if (got % kRecordBytes != 0) {
+      status_ = Status::Corruption("file size not a multiple of record size");
+      return status_;
+    }
+    buffer_size_ = got;
+    buffer_pos_ = 0;
+    if (got == 0) {
+      *eof = true;
+      return Status::OK();
+    }
+  }
+  *key = DecodeKey(buffer_.data() + buffer_pos_);
+  buffer_pos_ += kRecordBytes;
+  return Status::OK();
+}
+
+Status ReadAllRecords(Env* env, const std::string& path,
+                      std::vector<Key>* out) {
+  out->clear();
+  RecordReader reader(env, path);
+  TWRS_RETURN_IF_ERROR(reader.status());
+  for (;;) {
+    Key k;
+    bool eof;
+    TWRS_RETURN_IF_ERROR(reader.Next(&k, &eof));
+    if (eof) return Status::OK();
+    out->push_back(k);
+  }
+}
+
+Status WriteAllRecords(Env* env, const std::string& path,
+                       const std::vector<Key>& keys) {
+  RecordWriter writer(env, path);
+  TWRS_RETURN_IF_ERROR(writer.status());
+  for (Key k : keys) TWRS_RETURN_IF_ERROR(writer.Append(k));
+  return writer.Finish();
+}
+
+}  // namespace twrs

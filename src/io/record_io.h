@@ -1,0 +1,86 @@
+#ifndef TWRS_IO_RECORD_IO_H_
+#define TWRS_IO_RECORD_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/record.h"
+#include "io/env.h"
+#include "util/status.h"
+
+namespace twrs {
+
+/// Default I/O block size. The paper's file system page is 4 KiB (§A.1); we
+/// buffer several pages per sequential stream, as real systems do.
+inline constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+/// Block-buffered sequential writer of fixed-size records.
+class RecordWriter {
+ public:
+  /// Creates the file at `path` (truncating). Call status() to check.
+  RecordWriter(Env* env, const std::string& path,
+               size_t block_bytes = kDefaultBlockBytes);
+
+  ~RecordWriter();
+
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  /// Status of construction; Append/Finish fail if this is not OK.
+  const Status& status() const { return status_; }
+
+  /// Appends one record.
+  Status Append(Key key);
+
+  /// Flushes remaining buffered records and closes the file.
+  Status Finish();
+
+  /// Number of records appended so far.
+  uint64_t count() const { return count_; }
+
+ private:
+  Status status_;
+  std::unique_ptr<WritableFile> file_;
+  std::vector<uint8_t> buffer_;
+  size_t buffer_used_ = 0;
+  uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// Block-buffered sequential reader of fixed-size records.
+class RecordReader {
+ public:
+  /// Opens `path`. Call status() to check.
+  RecordReader(Env* env, const std::string& path,
+               size_t block_bytes = kDefaultBlockBytes);
+
+  RecordReader(const RecordReader&) = delete;
+  RecordReader& operator=(const RecordReader&) = delete;
+
+  const Status& status() const { return status_; }
+
+  /// Reads the next record into `*key`; sets `*eof` instead at end of file.
+  Status Next(Key* key, bool* eof);
+
+ private:
+  Status status_;
+  std::unique_ptr<SequentialFile> file_;
+  std::vector<uint8_t> buffer_;
+  size_t buffer_size_ = 0;  // valid bytes in buffer_
+  size_t buffer_pos_ = 0;
+  bool at_eof_ = false;
+};
+
+/// Reads all records of a file into a vector (test and example helper).
+Status ReadAllRecords(Env* env, const std::string& path,
+                      std::vector<Key>* out);
+
+/// Writes all records of a vector to a file (test and example helper).
+Status WriteAllRecords(Env* env, const std::string& path,
+                       const std::vector<Key>& keys);
+
+}  // namespace twrs
+
+#endif  // TWRS_IO_RECORD_IO_H_

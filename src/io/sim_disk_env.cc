@@ -1,0 +1,170 @@
+#include "io/sim_disk_env.h"
+
+namespace twrs {
+
+void DiskModel::Access(uint64_t file_id, uint64_t offset, uint64_t n) {
+  const bool forward_contiguous =
+      file_id == last_file_ && offset == last_end_offset_;
+  const bool backward_contiguous =
+      file_id == last_file_ && offset + n == last_start_offset_;
+  if (!forward_contiguous && !backward_contiguous) ++seeks_;
+  bytes_ += n;
+  last_file_ = file_id;
+  last_start_offset_ = offset;
+  last_end_offset_ = offset + n;
+}
+
+double DiskModel::SimulatedSeconds() const {
+  return static_cast<double>(seeks_) * config_.seek_seconds +
+         static_cast<double>(bytes_) / config_.bandwidth_bytes_per_second;
+}
+
+void DiskModel::Reset() {
+  seeks_ = 0;
+  bytes_ = 0;
+  last_file_ = UINT64_MAX;
+  last_end_offset_ = 0;
+}
+
+namespace {
+
+class SimWritableFile : public WritableFile {
+ public:
+  SimWritableFile(std::unique_ptr<WritableFile> base, DiskModel* model,
+                  uint64_t file_id)
+      : base_(std::move(base)), model_(model), file_id_(file_id) {}
+
+  Status Append(const void* data, size_t n) override {
+    model_->Access(file_id_, offset_, n);
+    offset_ += n;
+    return base_->Append(data, n);
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  DiskModel* model_;
+  uint64_t file_id_;
+  uint64_t offset_ = 0;
+};
+
+class SimSequentialFile : public SequentialFile {
+ public:
+  SimSequentialFile(std::unique_ptr<SequentialFile> base, DiskModel* model,
+                    uint64_t file_id)
+      : base_(std::move(base)), model_(model), file_id_(file_id) {}
+
+  Status Read(void* out, size_t n, size_t* bytes_read) override {
+    Status s = base_->Read(out, n, bytes_read);
+    if (s.ok() && *bytes_read > 0) {
+      model_->Access(file_id_, offset_, *bytes_read);
+      offset_ += *bytes_read;
+    }
+    return s;
+  }
+
+  Status Skip(uint64_t n) override {
+    offset_ += n;
+    return base_->Skip(n);
+  }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  DiskModel* model_;
+  uint64_t file_id_;
+  uint64_t offset_ = 0;
+};
+
+class SimRandomRWFile : public RandomRWFile {
+ public:
+  SimRandomRWFile(std::unique_ptr<RandomRWFile> base, DiskModel* model,
+                  uint64_t file_id)
+      : base_(std::move(base)), model_(model), file_id_(file_id) {}
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    model_->Access(file_id_, offset, n);
+    return base_->WriteAt(offset, data, n);
+  }
+
+  Status ReadAt(uint64_t offset, void* out, size_t n) override {
+    model_->Access(file_id_, offset, n);
+    return base_->ReadAt(offset, out, n);
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<RandomRWFile> base_;
+  DiskModel* model_;
+  uint64_t file_id_;
+};
+
+}  // namespace
+
+SimDiskEnv::SimDiskEnv(Env* base, DiskModelConfig config)
+    : base_(base), model_(config) {}
+
+uint64_t SimDiskEnv::FileId(const std::string& path) {
+  auto [it, inserted] = file_ids_.emplace(path, next_file_id_);
+  if (inserted) ++next_file_id_;
+  return it->second;
+}
+
+Status SimDiskEnv::NewWritableFile(const std::string& path,
+                                   std::unique_ptr<WritableFile>* out) {
+  std::unique_ptr<WritableFile> base;
+  TWRS_RETURN_IF_ERROR(base_->NewWritableFile(path, &base));
+  out->reset(new SimWritableFile(std::move(base), &model_, FileId(path)));
+  return Status::OK();
+}
+
+Status SimDiskEnv::NewSequentialFile(const std::string& path,
+                                     std::unique_ptr<SequentialFile>* out) {
+  std::unique_ptr<SequentialFile> base;
+  TWRS_RETURN_IF_ERROR(base_->NewSequentialFile(path, &base));
+  out->reset(new SimSequentialFile(std::move(base), &model_, FileId(path)));
+  return Status::OK();
+}
+
+Status SimDiskEnv::NewRandomRWFile(const std::string& path,
+                                   std::unique_ptr<RandomRWFile>* out) {
+  std::unique_ptr<RandomRWFile> base;
+  TWRS_RETURN_IF_ERROR(base_->NewRandomRWFile(path, &base));
+  out->reset(new SimRandomRWFile(std::move(base), &model_, FileId(path)));
+  return Status::OK();
+}
+
+Status SimDiskEnv::ReopenRandomRWFile(const std::string& path,
+                                      std::unique_ptr<RandomRWFile>* out) {
+  std::unique_ptr<RandomRWFile> base;
+  TWRS_RETURN_IF_ERROR(base_->ReopenRandomRWFile(path, &base));
+  out->reset(new SimRandomRWFile(std::move(base), &model_, FileId(path)));
+  return Status::OK();
+}
+
+Status SimDiskEnv::NewRandomReadFile(const std::string& path,
+                                     std::unique_ptr<RandomRWFile>* out) {
+  std::unique_ptr<RandomRWFile> base;
+  TWRS_RETURN_IF_ERROR(base_->NewRandomReadFile(path, &base));
+  out->reset(new SimRandomRWFile(std::move(base), &model_, FileId(path)));
+  return Status::OK();
+}
+
+bool SimDiskEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status SimDiskEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+Status SimDiskEnv::GetFileSize(const std::string& path, uint64_t* size) {
+  return base_->GetFileSize(path, size);
+}
+
+Status SimDiskEnv::CreateDirIfMissing(const std::string& path) {
+  return base_->CreateDirIfMissing(path);
+}
+
+}  // namespace twrs

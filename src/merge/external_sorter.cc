@@ -1,0 +1,121 @@
+#include "merge/external_sorter.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/batched_replacement_selection.h"
+#include "core/load_sort_store.h"
+#include "core/replacement_selection.h"
+#include "core/run_generator.h"
+#include "core/run_sink.h"
+#include "io/record_io.h"
+#include "util/stopwatch.h"
+
+namespace twrs {
+
+const char* RunGenAlgorithmName(RunGenAlgorithm algorithm) {
+  switch (algorithm) {
+    case RunGenAlgorithm::kReplacementSelection:
+      return "RS";
+    case RunGenAlgorithm::kTwoWayReplacementSelection:
+      return "2WRS";
+    case RunGenAlgorithm::kLoadSortStore:
+      return "LSS";
+    case RunGenAlgorithm::kBatchedReplacementSelection:
+      return "BatchedRS";
+  }
+  return "?";
+}
+
+ExternalSorter::ExternalSorter(Env* env, ExternalSortOptions options)
+    : env_(env), options_(std::move(options)) {}
+
+Status ExternalSorter::Sort(RecordSource* source,
+                            const std::string& output_path,
+                            ExternalSortResult* result) {
+  ExternalSortResult local;
+  TWRS_RETURN_IF_ERROR(env_->CreateDirIfMissing(options_.temp_dir));
+  const std::string prefix = "sort" + std::to_string(sort_counter_++);
+
+  std::unique_ptr<RunGenerator> generator;
+  switch (options_.algorithm) {
+    case RunGenAlgorithm::kReplacementSelection: {
+      ReplacementSelectionOptions rs;
+      rs.memory_records = options_.memory_records;
+      generator = std::make_unique<ReplacementSelection>(rs);
+      break;
+    }
+    case RunGenAlgorithm::kTwoWayReplacementSelection: {
+      TwoWayOptions twrs = options_.twrs;
+      twrs.memory_records = options_.memory_records;
+      generator = std::make_unique<TwoWayReplacementSelection>(twrs);
+      break;
+    }
+    case RunGenAlgorithm::kLoadSortStore: {
+      LoadSortStoreOptions lss;
+      lss.memory_records = options_.memory_records;
+      generator = std::make_unique<LoadSortStore>(lss);
+      break;
+    }
+    case RunGenAlgorithm::kBatchedReplacementSelection: {
+      BatchedReplacementSelectionOptions brs;
+      brs.memory_records = options_.memory_records;
+      brs.batch_records =
+          std::min<size_t>(1024, std::max<size_t>(1, options_.memory_records / 8));
+      generator = std::make_unique<BatchedReplacementSelection>(brs);
+      break;
+    }
+  }
+
+  FileRunSinkOptions sink_options;
+  sink_options.block_bytes = options_.block_bytes;
+  FileRunSink sink(env_, options_.temp_dir, prefix, sink_options);
+
+  Stopwatch total_watch;
+  Stopwatch phase_watch;
+  TWRS_RETURN_IF_ERROR(generator->Generate(source, &sink, &local.run_gen));
+  local.run_gen_seconds = phase_watch.ElapsedSeconds();
+
+  MergeOptions merge_options;
+  merge_options.fan_in = options_.fan_in;
+  merge_options.block_bytes = options_.block_bytes;
+  merge_options.temp_dir = options_.temp_dir;
+  merge_options.temp_prefix = prefix;
+  merge_options.remove_inputs = !options_.keep_temp_files;
+
+  phase_watch.Reset();
+  TWRS_RETURN_IF_ERROR(MergeRuns(env_, sink.runs(), merge_options,
+                                 output_path, &local.merge));
+  local.merge_seconds = phase_watch.ElapsedSeconds();
+  local.total_seconds = total_watch.ElapsedSeconds();
+  local.output_records = local.run_gen.total_records;
+  if (result != nullptr) *result = local;
+  return Status::OK();
+}
+
+Status VerifySortedFile(Env* env, const std::string& path, uint64_t* count,
+                        KeyChecksum* checksum) {
+  RecordReader reader(env, path);
+  TWRS_RETURN_IF_ERROR(reader.status());
+  uint64_t n = 0;
+  Key previous = 0;
+  KeyChecksum sum;
+  for (;;) {
+    Key key;
+    bool eof;
+    TWRS_RETURN_IF_ERROR(reader.Next(&key, &eof));
+    if (eof) break;
+    if (n > 0 && key < previous) {
+      return Status::Corruption("file is not sorted at record " +
+                                std::to_string(n));
+    }
+    previous = key;
+    sum.Add(key);
+    ++n;
+  }
+  if (count != nullptr) *count = n;
+  if (checksum != nullptr) *checksum = sum;
+  return Status::OK();
+}
+
+}  // namespace twrs

@@ -1,0 +1,88 @@
+#ifndef TWRS_MERGE_EXTERNAL_SORTER_H_
+#define TWRS_MERGE_EXTERNAL_SORTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/record_source.h"
+#include "core/run_stats.h"
+#include "core/two_way_replacement_selection.h"
+#include "io/env.h"
+#include "merge/merge_plan.h"
+#include "util/checksum.h"
+#include "util/status.h"
+
+namespace twrs {
+
+/// Run generation algorithm of the first external-mergesort phase.
+enum class RunGenAlgorithm {
+  kReplacementSelection,
+  kTwoWayReplacementSelection,
+  kLoadSortStore,
+  kBatchedReplacementSelection,
+};
+
+const char* RunGenAlgorithmName(RunGenAlgorithm algorithm);
+
+/// Configuration of a complete external sort.
+struct ExternalSortOptions {
+  RunGenAlgorithm algorithm = RunGenAlgorithm::kTwoWayReplacementSelection;
+
+  /// Memory budget in records for the run generation phase.
+  size_t memory_records = 1 << 16;
+
+  /// 2WRS tuning; `memory_records` above overrides its memory field.
+  TwoWayOptions twrs;
+
+  /// Merge fan-in (§6.1.1; the paper's experiments use 10).
+  size_t fan_in = 10;
+
+  /// Directory for runs and intermediate merge files (created if missing).
+  std::string temp_dir = "/tmp/twrs_sort";
+
+  /// I/O buffer per stream.
+  size_t block_bytes = kDefaultBlockBytes;
+
+  /// Keep run/intermediate files after sorting (for inspection).
+  bool keep_temp_files = false;
+};
+
+/// Timing and volume breakdown of one sort, mirroring the measurements of
+/// Chapter 6 (run generation time vs total time).
+struct ExternalSortResult {
+  RunGenStats run_gen;
+  MergeStats merge;
+  double run_gen_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double total_seconds = 0.0;
+  uint64_t output_records = 0;
+};
+
+/// Two-phase external mergesort (Chapter 2): a pluggable run generation
+/// phase (RS, 2WRS or Load-Sort-Store) followed by multi-pass fan-in-way
+/// merging.
+class ExternalSorter {
+ public:
+  /// Does not take ownership of `env`.
+  ExternalSorter(Env* env, ExternalSortOptions options);
+
+  /// Sorts `source` into the record file at `output_path`.
+  Status Sort(RecordSource* source, const std::string& output_path,
+              ExternalSortResult* result);
+
+  const ExternalSortOptions& options() const { return options_; }
+
+ private:
+  Env* env_;
+  ExternalSortOptions options_;
+  uint64_t sort_counter_ = 0;
+};
+
+/// Scans a record file, verifying it is sorted; returns its record count
+/// and order-independent checksum for permutation checks.
+Status VerifySortedFile(Env* env, const std::string& path, uint64_t* count,
+                        KeyChecksum* checksum);
+
+}  // namespace twrs
+
+#endif  // TWRS_MERGE_EXTERNAL_SORTER_H_

@@ -1,0 +1,125 @@
+#include "merge/kway_merge.h"
+
+#include "merge/loser_tree.h"
+
+namespace twrs {
+
+RunCursor::RunCursor(Env* env, RunInfo run, size_t block_bytes)
+    : env_(env), run_(std::move(run)), block_bytes_(block_bytes) {}
+
+Status RunCursor::Init() {
+  segment_ = 0;
+  valid_ = false;
+  forward_.reset();
+  reverse_.reset();
+  return Advance();
+}
+
+Status RunCursor::Next() { return Advance(); }
+
+Status RunCursor::Advance() {
+  for (;;) {
+    // Pull from the currently open segment reader, if any.
+    bool eof = true;
+    if (forward_ != nullptr) {
+      TWRS_RETURN_IF_ERROR(forward_->Next(&current_, &eof));
+    } else if (reverse_ != nullptr) {
+      TWRS_RETURN_IF_ERROR(reverse_->Next(&current_, &eof));
+    }
+    if (!eof) {
+      valid_ = true;
+      return Status::OK();
+    }
+    forward_.reset();
+    reverse_.reset();
+    if (segment_ == run_.segments.size()) {
+      valid_ = false;
+      return Status::OK();
+    }
+    const RunSegment& seg = run_.segments[segment_++];
+    if (seg.count == 0) continue;
+    if (seg.reverse) {
+      reverse_ = std::make_unique<ReverseRunReader>(env_, seg.path,
+                                                    seg.num_files,
+                                                    block_bytes_);
+      TWRS_RETURN_IF_ERROR(reverse_->status());
+    } else {
+      forward_ = std::make_unique<RecordReader>(env_, seg.path, block_bytes_);
+      TWRS_RETURN_IF_ERROR(forward_->status());
+    }
+  }
+}
+
+Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
+                 size_t block_bytes,
+                 const std::function<Status(Key)>& emit) {
+  const size_t k = runs.size();
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  cursors.reserve(k);
+  LoserTree tree(k);
+  for (size_t i = 0; i < k; ++i) {
+    cursors.push_back(std::make_unique<RunCursor>(env, runs[i], block_bytes));
+    TWRS_RETURN_IF_ERROR(cursors.back()->Init());
+    if (cursors.back()->valid()) tree.SetInitial(i, cursors.back()->key());
+  }
+  tree.Build();
+  while (!tree.Exhausted()) {
+    const size_t w = tree.WinnerIndex();
+    TWRS_RETURN_IF_ERROR(emit(tree.WinnerKey()));
+    TWRS_RETURN_IF_ERROR(cursors[w]->Next());
+    if (cursors[w]->valid()) {
+      tree.ReplaceWinner(cursors[w]->key());
+    } else {
+      tree.RetireWinner();
+    }
+  }
+  return Status::OK();
+}
+
+Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
+                       size_t block_bytes, const std::string& output_path,
+                       RunInfo* out) {
+  RecordWriter writer(env, output_path, block_bytes);
+  TWRS_RETURN_IF_ERROR(writer.status());
+  bool first = true;
+  Key min_key = 0;
+  Key max_key = 0;
+  TWRS_RETURN_IF_ERROR(KWayMerge(env, runs, block_bytes, [&](Key key) {
+    if (first) {
+      min_key = key;
+      first = false;
+    }
+    max_key = key;
+    return writer.Append(key);
+  }));
+  TWRS_RETURN_IF_ERROR(writer.Finish());
+  if (out != nullptr) {
+    RunInfo info;
+    RunSegment seg;
+    seg.path = output_path;
+    seg.reverse = false;
+    seg.count = writer.count();
+    info.segments.push_back(std::move(seg));
+    info.length = writer.count();
+    info.min_key = min_key;
+    info.max_key = max_key;
+    *out = std::move(info);
+  }
+  return Status::OK();
+}
+
+Status RemoveRunFiles(Env* env, const RunInfo& run) {
+  for (const RunSegment& seg : run.segments) {
+    if (seg.reverse) {
+      for (uint64_t f = 0; f < seg.num_files; ++f) {
+        TWRS_RETURN_IF_ERROR(
+            env->RemoveFile(ReverseRunWriter::FileName(seg.path, f)));
+      }
+    } else {
+      TWRS_RETURN_IF_ERROR(env->RemoveFile(seg.path));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace twrs

@@ -1,0 +1,70 @@
+#ifndef TWRS_MERGE_KWAY_MERGE_H_
+#define TWRS_MERGE_KWAY_MERGE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/record.h"
+#include "core/run_sink.h"
+#include "io/env.h"
+#include "io/record_io.h"
+#include "io/reverse_run_file.h"
+#include "util/status.h"
+
+namespace twrs {
+
+/// Streaming cursor over one generated run: iterates its segments in order,
+/// reading forward segments with RecordReader and decreasing segments
+/// through the Appendix-A reverse reader, yielding a single non-decreasing
+/// key sequence.
+class RunCursor {
+ public:
+  RunCursor(Env* env, RunInfo run, size_t block_bytes = kDefaultBlockBytes);
+
+  /// Opens the first segment and positions on the first record.
+  Status Init();
+
+  bool valid() const { return valid_; }
+
+  /// Current key. Requires valid().
+  Key key() const { return current_; }
+
+  /// Advances to the next record; valid() turns false at the end.
+  Status Next();
+
+  const RunInfo& run() const { return run_; }
+
+ private:
+  Status Advance();
+
+  Env* env_;
+  RunInfo run_;
+  size_t block_bytes_;
+  size_t segment_ = 0;
+  std::unique_ptr<RecordReader> forward_;
+  std::unique_ptr<ReverseRunReader> reverse_;
+  Key current_ = 0;
+  bool valid_ = false;
+};
+
+/// Merges `runs` into a single non-decreasing stream delivered to `emit`
+/// (§2.1.2, k-way merge over a loser tree). `block_bytes` is the read
+/// buffer per run — the per-run merge buffer of the paper's setup.
+Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
+                 size_t block_bytes,
+                 const std::function<Status(Key)>& emit);
+
+/// Convenience overload merging into a record file at `output_path`;
+/// returns the resulting single run through `*out` if non-null.
+Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
+                       size_t block_bytes, const std::string& output_path,
+                       RunInfo* out);
+
+/// Deletes every physical file of a run (reverse segments span several).
+Status RemoveRunFiles(Env* env, const RunInfo& run);
+
+}  // namespace twrs
+
+#endif  // TWRS_MERGE_KWAY_MERGE_H_

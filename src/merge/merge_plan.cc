@@ -1,0 +1,71 @@
+#include "merge/merge_plan.h"
+
+#include <deque>
+
+#include "merge/kway_merge.h"
+
+namespace twrs {
+
+Status MergeRuns(Env* env, std::vector<RunInfo> runs,
+                 const MergeOptions& options, const std::string& output_path,
+                 MergeStats* stats) {
+  if (options.fan_in < 2) {
+    return Status::InvalidArgument("fan_in must be at least 2");
+  }
+  MergeStats local;
+  std::deque<RunInfo> queue(runs.begin(), runs.end());
+  uint64_t temp_counter = 0;
+
+  if (queue.empty()) {
+    // Sorting an empty input produces an empty output file.
+    RecordWriter writer(env, output_path, options.block_bytes);
+    TWRS_RETURN_IF_ERROR(writer.status());
+    TWRS_RETURN_IF_ERROR(writer.Finish());
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+
+  // Intermediate passes: shrink the queue until one merge reaches the
+  // final output. Note a single run still goes through one "merge" so the
+  // output is always a plain forward record file.
+  while (queue.size() > options.fan_in) {
+    std::vector<RunInfo> batch;
+    const size_t take = options.fan_in;
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue.front()));
+      queue.pop_front();
+    }
+    const std::string temp_path = options.temp_dir + "/" +
+                                  options.temp_prefix + "_tmp" +
+                                  std::to_string(temp_counter++);
+    RunInfo merged;
+    TWRS_RETURN_IF_ERROR(
+        KWayMergeToFile(env, batch, options.block_bytes, temp_path, &merged));
+    ++local.merge_steps;
+    ++local.intermediate_runs;
+    local.records_written += merged.length;
+    if (options.remove_inputs) {
+      for (const RunInfo& run : batch) {
+        TWRS_RETURN_IF_ERROR(RemoveRunFiles(env, run));
+      }
+    }
+    queue.push_back(std::move(merged));
+  }
+
+  std::vector<RunInfo> final_batch(queue.begin(), queue.end());
+  queue.clear();
+  RunInfo final_run;
+  TWRS_RETURN_IF_ERROR(KWayMergeToFile(env, final_batch, options.block_bytes,
+                                       output_path, &final_run));
+  ++local.merge_steps;
+  local.records_written += final_run.length;
+  if (options.remove_inputs) {
+    for (const RunInfo& run : final_batch) {
+      TWRS_RETURN_IF_ERROR(RemoveRunFiles(env, run));
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace twrs

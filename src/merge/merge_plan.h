@@ -1,0 +1,51 @@
+#ifndef TWRS_MERGE_MERGE_PLAN_H_
+#define TWRS_MERGE_MERGE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/run_sink.h"
+#include "io/env.h"
+#include "io/record_io.h"
+#include "util/status.h"
+
+namespace twrs {
+
+/// Options for the multi-pass merge phase (§2.1.2 / §6.1.1).
+struct MergeOptions {
+  /// Runs merged simultaneously per step (the paper measures an optimum of
+  /// 10 on its disk, Fig 6.1).
+  size_t fan_in = 10;
+
+  /// Read/write buffer per stream.
+  size_t block_bytes = kDefaultBlockBytes;
+
+  /// Directory for intermediate runs.
+  std::string temp_dir = ".";
+
+  /// Name prefix for intermediate runs.
+  std::string temp_prefix = "merge";
+
+  /// Delete input and intermediate runs once consumed.
+  bool remove_inputs = true;
+};
+
+/// Merge-phase statistics.
+struct MergeStats {
+  uint64_t merge_steps = 0;      ///< k-way merge operations performed
+  uint64_t records_written = 0;  ///< total records written (I/O volume proxy)
+  uint64_t intermediate_runs = 0;
+};
+
+/// Repeatedly performs fan-in-way merges until a single sorted sequence
+/// remains, written to `output_path`. Runs are consumed in FIFO order, so
+/// every record participates in roughly ceil(log_fanin(#runs)) passes.
+/// With zero input runs an empty output file is produced.
+Status MergeRuns(Env* env, std::vector<RunInfo> runs,
+                 const MergeOptions& options, const std::string& output_path,
+                 MergeStats* stats);
+
+}  // namespace twrs
+
+#endif  // TWRS_MERGE_MERGE_PLAN_H_

@@ -1,0 +1,33 @@
+#ifndef TWRS_MERGE_POLYPHASE_H_
+#define TWRS_MERGE_POLYPHASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/run_sink.h"
+#include "io/env.h"
+#include "merge/merge_plan.h"
+#include "util/status.h"
+
+namespace twrs {
+
+/// Run-count trace of a polyphase merge (§2.1.2, Table 2.1): starting from
+/// a distribution of runs over tapes, each step performs k-way merges into
+/// the empty tape until some input tape empties, which becomes the next
+/// output tape. Returns the run counts per tape after each step, beginning
+/// with the initial state, ending when one run remains.
+std::vector<std::vector<uint64_t>> SimulatePolyphase(
+    std::vector<uint64_t> initial_runs_per_tape);
+
+/// File-backed polyphase merge over `num_tapes` simulated tapes. Input runs
+/// are distributed round-robin over num_tapes - 1 tapes, then merged with
+/// the polyphase schedule until a single run is written to `output_path`.
+/// Requires num_tapes >= 3.
+Status PolyphaseMergeRuns(Env* env, std::vector<RunInfo> runs,
+                          size_t num_tapes, const MergeOptions& options,
+                          const std::string& output_path, MergeStats* stats);
+
+}  // namespace twrs
+
+#endif  // TWRS_MERGE_POLYPHASE_H_

@@ -1,0 +1,98 @@
+#include "model/snowplow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace twrs {
+
+SnowplowModel::SnowplowModel(SnowplowOptions options,
+                             std::function<double(double)> data)
+    : options_(options),
+      density_(options.bins, 1.0),
+      inflow_(options.bins, 0.0),
+      bin_width_(1.0 / options.bins) {
+  assert(options_.bins > 1);
+  // k2 = integral of data(x) over [0, 1) by midpoint quadrature (Eq. 3.7).
+  double k2 = 0.0;
+  std::vector<double> raw(options_.bins);
+  for (int i = 0; i < options_.bins; ++i) {
+    const double x = (i + 0.5) * bin_width_;
+    raw[i] = std::max(0.0, data(x));
+    k2 += raw[i] * bin_width_;
+  }
+  assert(k2 > 0.0);
+  // Inflow density rate: dm/dt(x) = (k1/k2)·data(x) (Eq. 3.11).
+  for (int i = 0; i < options_.bins; ++i) {
+    inflow_[i] = options_.k1 / k2 * raw[i];
+  }
+  SetInitialDensity([](double) { return 1.0; });
+}
+
+void SnowplowModel::SetInitialDensity(const std::function<double(double)>& m0) {
+  double total = 0.0;
+  for (int i = 0; i < options_.bins; ++i) {
+    const double x = (i + 0.5) * bin_width_;
+    density_[i] = std::max(0.0, m0(x));
+    total += density_[i] * bin_width_;
+  }
+  assert(total > 0.0);
+  // Normalize so the memory is exactly full (equality in Eq. 3.12).
+  for (double& d : density_) d /= total;
+}
+
+namespace {
+
+SnowplowModel::RunResult SimulateRunImpl(const SnowplowOptions& options,
+                                         std::vector<double>* density,
+                                         const std::vector<double>& inflow,
+                                         double bin_width) {
+  SnowplowModel::RunResult result;
+  const int bins = static_cast<int>(density->size());
+  for (int i = 0; i < bins; ++i) {
+    // Time to clear bin i: the plow removes mass at rate k1 while the bin
+    // itself keeps gaining inflow[i] per unit length:
+    //   k1 * tau = (m_i + inflow_i * tau) * w
+    const double mass = (*density)[i] * bin_width;
+    const double gain = inflow[i] * bin_width;
+    if (options.k1 <= gain) {
+      // Inflow into a single bin outruns the plow; the model diverges. Guard
+      // by treating the bin as taking a full memory's worth of time.
+      result.duration += 1.0 / options.k1;
+      (*density)[i] = 0.0;
+      continue;
+    }
+    const double tau = mass / (options.k1 - gain);
+    result.duration += tau;
+    (*density)[i] = 0.0;
+    // Everything else accretes inflow while the plow works this bin. The
+    // portion of the current bin's own inflow is cleared with it.
+    for (int j = 0; j < bins; ++j) {
+      if (j != i) (*density)[j] += inflow[j] * tau;
+    }
+  }
+  // Run length = path integral of m along p (Eq. in §3.6.1) = k1 * duration
+  // (mass removed), relative to a unit memory.
+  result.run_length = options.k1 * result.duration;
+  return result;
+}
+
+}  // namespace
+
+SnowplowModel::RunResult SnowplowModel::SimulateRun() {
+  return SimulateRunImpl(options_, &density_, inflow_, bin_width_);
+}
+
+double SnowplowModel::DensityAt(double x) const {
+  int i = static_cast<int>(x * options_.bins);
+  i = std::clamp(i, 0, options_.bins - 1);
+  return density_[i];
+}
+
+double SnowplowModel::TotalMemory() const {
+  double total = 0.0;
+  for (double d : density_) total += d * bin_width_;
+  return total;
+}
+
+}  // namespace twrs

@@ -1,0 +1,267 @@
+#include "stats/anova.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "stats/descriptive.h"
+#include "stats/special_functions.h"
+
+namespace twrs {
+
+namespace {
+
+// Weighted running sums for one cell.
+struct Cell {
+  double sum_wy = 0.0;
+  double sum_w = 0.0;
+
+  double MeanValue() const { return sum_w > 0.0 ? sum_wy / sum_w : 0.0; }
+};
+
+// Encodes the levels an observation takes on the factor subset `subset`
+// into a single mixed-radix index.
+uint64_t ComboIndex(const Observation& obs, const std::vector<int>& subset,
+                    const std::vector<int>& levels_per_factor) {
+  uint64_t index = 0;
+  for (int f : subset) {
+    index = index * static_cast<uint64_t>(levels_per_factor[f]) +
+            static_cast<uint64_t>(obs.levels[f]);
+  }
+  return index;
+}
+
+// All subsets of `term`, each sorted, including the empty set.
+std::vector<std::vector<int>> Subsets(const std::vector<int>& term) {
+  std::vector<std::vector<int>> out;
+  const size_t n = term.size();
+  for (size_t mask = 0; mask < (size_t{1} << n); ++mask) {
+    std::vector<int> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (size_t{1} << i)) subset.push_back(term[i]);
+    }
+    out.push_back(std::move(subset));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AnovaTerm::Name(
+    const std::vector<std::string>& factor_names) const {
+  if (factors.size() == 1) return factor_names[factors[0]];
+  std::string name = "(";
+  for (size_t i = 0; i < factors.size(); ++i) {
+    if (i > 0) name += "*";
+    name += factor_names[factors[i]];
+  }
+  name += ")";
+  return name;
+}
+
+Status FitAnova(const std::vector<Observation>& observations,
+                const std::vector<int>& levels_per_factor,
+                const std::vector<AnovaTerm>& terms, AnovaResult* result) {
+  if (observations.empty()) {
+    return Status::InvalidArgument("no observations");
+  }
+  const size_t num_factors = levels_per_factor.size();
+  for (const Observation& obs : observations) {
+    if (obs.levels.size() != num_factors) {
+      return Status::InvalidArgument("observation arity mismatch");
+    }
+    for (size_t f = 0; f < num_factors; ++f) {
+      if (obs.levels[f] < 0 || obs.levels[f] >= levels_per_factor[f]) {
+        return Status::InvalidArgument("level out of range");
+      }
+    }
+    if (obs.weight <= 0.0) {
+      return Status::InvalidArgument("weights must be positive");
+    }
+  }
+  for (const AnovaTerm& term : terms) {
+    if (term.factors.empty()) {
+      return Status::InvalidArgument("empty term");
+    }
+    std::vector<int> sorted = term.factors;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::InvalidArgument("duplicate factor in term");
+    }
+    for (int f : term.factors) {
+      if (f < 0 || f >= static_cast<int>(num_factors)) {
+        return Status::InvalidArgument("term references unknown factor");
+      }
+    }
+  }
+
+  // Grand (weighted) mean.
+  double sum_w = 0.0;
+  double sum_wy = 0.0;
+  for (const Observation& obs : observations) {
+    sum_w += obs.weight;
+    sum_wy += obs.weight * obs.y;
+  }
+  const double grand_mean = sum_wy / sum_w;
+
+  // Cell means for every factor subset any term needs.
+  std::map<std::vector<int>, std::map<uint64_t, Cell>> means;
+  for (const AnovaTerm& term : terms) {
+    for (std::vector<int>& subset : Subsets(term.factors)) {
+      if (subset.empty()) continue;
+      means.emplace(std::move(subset), std::map<uint64_t, Cell>{});
+    }
+  }
+  for (auto& [subset, cells] : means) {
+    for (const Observation& obs : observations) {
+      Cell& cell = cells[ComboIndex(obs, subset, levels_per_factor)];
+      cell.sum_wy += obs.weight * obs.y;
+      cell.sum_w += obs.weight;
+    }
+  }
+
+  // Per-term effects via inclusion-exclusion over subsets of the term, and
+  // per-observation fitted values.
+  AnovaResult local;
+  local.grand_mean = grand_mean;
+  std::vector<double> fitted(observations.size(), grand_mean);
+  for (const AnovaTerm& term : terms) {
+    std::vector<int> sorted = term.factors;
+    std::sort(sorted.begin(), sorted.end());
+    const auto subsets = Subsets(sorted);
+    double ss = 0.0;
+    for (size_t i = 0; i < observations.size(); ++i) {
+      const Observation& obs = observations[i];
+      double effect = 0.0;
+      for (const std::vector<int>& subset : subsets) {
+        const double sign =
+            ((sorted.size() - subset.size()) % 2 == 0) ? 1.0 : -1.0;
+        double mean;
+        if (subset.empty()) {
+          mean = grand_mean;
+        } else {
+          mean = means[subset]
+                     .at(ComboIndex(obs, subset, levels_per_factor))
+                     .MeanValue();
+        }
+        effect += sign * mean;
+      }
+      ss += obs.weight * effect * effect;
+      fitted[i] += effect;
+    }
+    int df = 1;
+    for (int f : sorted) df *= levels_per_factor[f] - 1;
+    std::vector<std::string> default_names(num_factors);
+    for (size_t f = 0; f < num_factors; ++f) {
+      default_names[f] = "F" + std::to_string(f);
+    }
+    AnovaRow row;
+    row.name = term.Name(default_names);
+    row.ss = ss;
+    row.df = df;
+    row.ms = df > 0 ? ss / df : 0.0;
+    local.rows.push_back(row);
+  }
+
+  // Residual.
+  double ss_error = 0.0;
+  double ss_total = 0.0;
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const Observation& obs = observations[i];
+    const double r = obs.y - fitted[i];
+    ss_error += obs.weight * r * r;
+    const double d = obs.y - grand_mean;
+    ss_total += obs.weight * d * d;
+  }
+  int df_model = 0;
+  for (const AnovaRow& row : local.rows) df_model += row.df;
+  const int df_error =
+      static_cast<int>(observations.size()) - 1 - df_model;
+  local.ss_error = ss_error;
+  local.df_error = df_error;
+  local.ms_error = df_error > 0 ? ss_error / df_error : 0.0;
+  local.ss_total = ss_total;
+  local.r_squared = ss_total > 0.0 ? 1.0 - ss_error / ss_total : 1.0;
+  local.sigma = std::sqrt(std::max(0.0, local.ms_error));
+  local.cv_percent =
+      grand_mean != 0.0 ? 100.0 * local.sigma / std::fabs(grand_mean) : 0.0;
+
+  // F tests and observed power (alpha = 0.05).
+  for (AnovaRow& row : local.rows) {
+    if (local.ms_error > 0.0 && df_error > 0) {
+      row.f = row.ms / local.ms_error;
+      row.significance = 1.0 - FCdf(row.f, row.df, df_error);
+      const double lambda = row.ss / local.ms_error;
+      const double f_crit = FQuantile(0.95, row.df, df_error);
+      row.power = 1.0 - NoncentralFCdf(f_crit, row.df, df_error, lambda);
+    } else {
+      // Zero residual variance (e.g. the deterministic sorted-input model):
+      // any non-zero effect is trivially significant.
+      const bool nonzero = row.ss > 1e-12;
+      row.f = nonzero ? std::numeric_limits<double>::infinity() : 0.0;
+      row.significance = nonzero ? 0.0 : 1.0;
+      row.power = nonzero ? 1.0 : 0.0;
+    }
+  }
+  *result = std::move(local);
+  return Status::OK();
+}
+
+Status ApplyWlsWeights(std::vector<Observation>* observations, int factor,
+                       int num_levels) {
+  if (num_levels <= 0) return Status::InvalidArgument("num_levels");
+  std::vector<std::vector<double>> groups(num_levels);
+  for (const Observation& obs : *observations) {
+    if (factor < 0 || factor >= static_cast<int>(obs.levels.size())) {
+      return Status::InvalidArgument("factor out of range");
+    }
+    const int level = obs.levels[factor];
+    if (level < 0 || level >= num_levels) {
+      return Status::InvalidArgument("level out of range");
+    }
+    groups[level].push_back(obs.y);
+  }
+  std::vector<double> weights(num_levels, 0.0);
+  double max_weight = 0.0;
+  for (int l = 0; l < num_levels; ++l) {
+    const double var = SampleVariance(groups[l]);
+    if (var > 0.0) {
+      weights[l] = 1.0 / var;
+      max_weight = std::max(max_weight, weights[l]);
+    }
+  }
+  if (max_weight == 0.0) max_weight = 1.0;
+  for (double& w : weights) {
+    if (w == 0.0) w = max_weight;  // zero-variance level: most trusted
+  }
+  for (Observation& obs : *observations) {
+    obs.weight = weights[obs.levels[factor]];
+  }
+  return Status::OK();
+}
+
+std::vector<Observation> CombineFactors(
+    const std::vector<Observation>& observations,
+    const std::vector<int>& factors, const std::vector<int>& levels_per_factor,
+    int* num_levels) {
+  int combined_levels = 1;
+  for (int f : factors) combined_levels *= levels_per_factor[f];
+  std::vector<Observation> out;
+  out.reserve(observations.size());
+  for (const Observation& obs : observations) {
+    int index = 0;
+    for (int f : factors) {
+      index = index * levels_per_factor[f] + obs.levels[f];
+    }
+    Observation combined;
+    combined.levels = {index};
+    combined.y = obs.y;
+    combined.weight = obs.weight;
+    out.push_back(std::move(combined));
+  }
+  if (num_levels != nullptr) *num_levels = combined_levels;
+  return out;
+}
+
+}  // namespace twrs

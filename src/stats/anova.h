@@ -1,0 +1,82 @@
+#ifndef TWRS_STATS_ANOVA_H_
+#define TWRS_STATS_ANOVA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace twrs {
+
+/// One experimental observation: the level taken by each factor, plus the
+/// response value. `weight` supports the WLS estimation of §5.2 (1.0 = MLS).
+struct Observation {
+  std::vector<int> levels;
+  double y = 0.0;
+  double weight = 1.0;
+};
+
+/// A model term: a main effect ({factor}) or an interaction ({f1, f2, ...}).
+struct AnovaTerm {
+  std::vector<int> factors;
+
+  /// Display name, e.g. "beta" or "(beta*gamma)".
+  std::string Name(const std::vector<std::string>& factor_names) const;
+};
+
+/// One row of the ANOVA table (as in Tables 5.2–5.11 of the paper).
+struct AnovaRow {
+  std::string name;
+  double ss = 0.0;      ///< sum of squares
+  int df = 0;           ///< degrees of freedom
+  double ms = 0.0;      ///< mean sum of squares
+  double f = 0.0;       ///< F statistic
+  double significance = 1.0;  ///< p-value of the F test
+  double power = 0.0;   ///< observed power at alpha = 0.05
+};
+
+/// Fitted fixed-effects factorial ANOVA model.
+struct AnovaResult {
+  std::vector<AnovaRow> rows;
+  double ss_error = 0.0;
+  int df_error = 0;
+  double ms_error = 0.0;
+  double ss_total = 0.0;
+  double r_squared = 0.0;   ///< share of variance explained by the model
+  double sigma = 0.0;       ///< sqrt(MS_error)
+  double cv_percent = 0.0;  ///< 100 * sigma / grand mean
+  double grand_mean = 0.0;
+};
+
+/// Fits a fixed-effects factorial ANOVA (Appendix B) over a balanced (or
+/// weight-balanced) crossed design.
+///
+/// `levels_per_factor[i]` is the number of levels of factor i; every
+/// observation's levels must be within range. `terms` selects the effects
+/// included in the model (main effects and interactions); everything not
+/// modeled lands in the residual. Effects are estimated by (weighted) cell
+/// means with the usual sum-to-zero constraints; each term's SS comes from
+/// the inclusion-exclusion (Möbius) expansion of its cell means, which for
+/// balanced designs reproduces the classical orthogonal decomposition.
+Status FitAnova(const std::vector<Observation>& observations,
+                const std::vector<int>& levels_per_factor,
+                const std::vector<AnovaTerm>& terms, AnovaResult* result);
+
+/// Sets each observation's weight to 1/Var(y | level of `factor`), the WLS
+/// weighting the paper applies when homoscedasticity fails across buffer
+/// sizes (§5.2.5–§5.2.6). Levels whose variance is ~0 get the largest
+/// finite weight observed.
+Status ApplyWlsWeights(std::vector<Observation>* observations, int factor,
+                       int num_levels);
+
+/// Rewrites observations so that the cross product of `factors` becomes a
+/// single factor (level = mixed-radix index), for running Tukey comparisons
+/// on interactions. Returns the combined level count via *num_levels.
+std::vector<Observation> CombineFactors(
+    const std::vector<Observation>& observations,
+    const std::vector<int>& factors, const std::vector<int>& levels_per_factor,
+    int* num_levels);
+
+}  // namespace twrs
+
+#endif  // TWRS_STATS_ANOVA_H_

@@ -1,0 +1,36 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+namespace twrs {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleVariance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double SampleStdDev(const std::vector<double>& values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double HarmonicMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    sum += 1.0 / v;
+  }
+  return static_cast<double>(values.size()) / sum;
+}
+
+}  // namespace twrs

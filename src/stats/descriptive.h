@@ -1,0 +1,23 @@
+#ifndef TWRS_STATS_DESCRIPTIVE_H_
+#define TWRS_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace twrs {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 values.
+double SampleVariance(const std::vector<double>& values);
+
+/// Sample standard deviation.
+double SampleStdDev(const std::vector<double>& values);
+
+/// Harmonic mean; 0 for empty input or any non-positive value.
+double HarmonicMean(const std::vector<double>& values);
+
+}  // namespace twrs
+
+#endif  // TWRS_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,39 @@
+#ifndef TWRS_STATS_SPECIAL_FUNCTIONS_H_
+#define TWRS_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace twrs {
+
+/// Special functions backing the ANOVA machinery of Appendix B. All are
+/// implemented from first principles (no external math library): the F-test
+/// needs the regularized incomplete beta, the power column needs the
+/// noncentral F, and Tukey's test needs the studentized range distribution.
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and x in
+/// [0, 1], by the Lentz continued-fraction expansion.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Regularized lower incomplete gamma P(a, x) (series / continued fraction).
+double RegularizedLowerGamma(double a, double x);
+
+/// Standard normal density and distribution function.
+double NormalPdf(double z);
+double NormalCdf(double z);
+
+/// CDF of the F distribution with (d1, d2) degrees of freedom.
+double FCdf(double f, double d1, double d2);
+
+/// Quantile of the F distribution (inverse of FCdf in f), by bisection.
+double FQuantile(double p, double d1, double d2);
+
+/// CDF of the noncentral F distribution with noncentrality lambda, via the
+/// Poisson-weighted incomplete-beta series. Used for observed power.
+double NoncentralFCdf(double f, double d1, double d2, double lambda);
+
+/// CDF of the studentized range distribution with `k` groups and `df` error
+/// degrees of freedom (df <= 0 or very large selects the df = infinity
+/// form), by numerical integration. Used for Tukey HSD p-values.
+double StudentizedRangeCdf(double q, int k, double df);
+
+}  // namespace twrs
+
+#endif  // TWRS_STATS_SPECIAL_FUNCTIONS_H_

@@ -1,0 +1,81 @@
+#include "stats/tukey.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace twrs {
+
+std::vector<int> TukeyResult::BestLevels(double alpha) const {
+  std::vector<int> best;
+  if (level_means.empty()) return best;
+  int min_level = 0;
+  for (size_t l = 1; l < level_means.size(); ++l) {
+    if (level_means[l] < level_means[min_level]) {
+      min_level = static_cast<int>(l);
+    }
+  }
+  for (size_t l = 0; l < level_means.size(); ++l) {
+    if (static_cast<int>(l) == min_level ||
+        p_values[min_level][l] > alpha) {
+      best.push_back(static_cast<int>(l));
+    }
+  }
+  return best;
+}
+
+Status TukeyHSD(const std::vector<Observation>& observations, int factor,
+                int num_levels, double ms_error, double df_error,
+                TukeyResult* result) {
+  if (num_levels < 2) {
+    return Status::InvalidArgument("need at least two levels");
+  }
+  TukeyResult local;
+  local.level_means.assign(num_levels, 0.0);
+  local.level_counts.assign(num_levels, 0);
+  for (const Observation& obs : observations) {
+    if (factor < 0 || factor >= static_cast<int>(obs.levels.size())) {
+      return Status::InvalidArgument("factor out of range");
+    }
+    const int level = obs.levels[factor];
+    if (level < 0 || level >= num_levels) {
+      return Status::InvalidArgument("level out of range");
+    }
+    local.level_means[level] += obs.y;
+    ++local.level_counts[level];
+  }
+  for (int l = 0; l < num_levels; ++l) {
+    if (local.level_counts[l] == 0) {
+      return Status::InvalidArgument("empty level " + std::to_string(l));
+    }
+    local.level_means[l] /= static_cast<double>(local.level_counts[l]);
+  }
+
+  local.p_values.assign(num_levels, std::vector<double>(num_levels, 1.0));
+  for (int i = 0; i < num_levels; ++i) {
+    for (int j = i + 1; j < num_levels; ++j) {
+      double p;
+      if (ms_error <= 0.0) {
+        // Deterministic response (zero residual variance): any difference
+        // in means is significant.
+        p = local.level_means[i] == local.level_means[j] ? 1.0 : 0.0;
+      } else {
+        // Tukey-Kramer standard error for unequal cell sizes.
+        const double ni = static_cast<double>(local.level_counts[i]);
+        const double nj = static_cast<double>(local.level_counts[j]);
+        const double se =
+            std::sqrt(ms_error / 2.0 * (1.0 / ni + 1.0 / nj));
+        const double q =
+            std::fabs(local.level_means[i] - local.level_means[j]) / se;
+        p = 1.0 - StudentizedRangeCdf(q, num_levels, df_error);
+      }
+      local.p_values[i][j] = p;
+      local.p_values[j][i] = p;
+    }
+  }
+  *result = std::move(local);
+  return Status::OK();
+}
+
+}  // namespace twrs

@@ -1,0 +1,36 @@
+#ifndef TWRS_STATS_TUKEY_H_
+#define TWRS_STATS_TUKEY_H_
+
+#include <vector>
+
+#include "stats/anova.h"
+#include "util/status.h"
+
+namespace twrs {
+
+/// Result of a Tukey HSD multiple-comparison test over the levels of one
+/// factor (Tables 5.7–5.9 and 5.12 of the paper).
+struct TukeyResult {
+  std::vector<double> level_means;
+  std::vector<uint64_t> level_counts;
+
+  /// p_values[i][j]: significance of the pairwise comparison of levels i
+  /// and j (1.0 on the diagonal). Values below the significance level mean
+  /// the level means differ.
+  std::vector<std::vector<double>> p_values;
+
+  /// Levels whose mean equals the minimum mean up to statistical
+  /// indistinguishability at the given alpha (the paper's boldfaced "best"
+  /// levels, for a minimized response).
+  std::vector<int> BestLevels(double alpha = 0.05) const;
+};
+
+/// Runs Tukey HSD (Tukey-Kramer for unequal cell sizes) on `factor` of the
+/// observations, using the error variance of a previously fitted model.
+Status TukeyHSD(const std::vector<Observation>& observations, int factor,
+                int num_levels, double ms_error, double df_error,
+                TukeyResult* result);
+
+}  // namespace twrs
+
+#endif  // TWRS_STATS_TUKEY_H_

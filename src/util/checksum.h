@@ -1,0 +1,45 @@
+#ifndef TWRS_UTIL_CHECKSUM_H_
+#define TWRS_UTIL_CHECKSUM_H_
+
+#include <cstdint>
+
+#include "core/record.h"
+
+namespace twrs {
+
+/// Order-independent checksum over a multiset of keys. Sorting must output
+/// a permutation of its input; comparing the checksum of input and output
+/// verifies that no record was lost, duplicated or altered, regardless of
+/// order. Combines count, sum, and an xor of per-key mixes.
+class KeyChecksum {
+ public:
+  void Add(Key key) {
+    ++count_;
+    sum_ += static_cast<uint64_t>(key);
+    xor_mix_ ^= Mix(static_cast<uint64_t>(key));
+  }
+
+  uint64_t count() const { return count_; }
+
+  friend bool operator==(const KeyChecksum& a, const KeyChecksum& b) {
+    return a.count_ == b.count_ && a.sum_ == b.sum_ &&
+           a.xor_mix_ == b.xor_mix_;
+  }
+
+ private:
+  // SplitMix64 finalizer: decorrelates keys so that xor detects swaps that
+  // plain sum/xor of raw keys would miss.
+  static uint64_t Mix(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t xor_mix_ = 0;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_UTIL_CHECKSUM_H_

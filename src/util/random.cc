@@ -1,0 +1,54 @@
+#include "util/random.h"
+
+namespace twrs {
+
+namespace {
+
+// SplitMix64 step, used to expand the user seed into generator state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  state0_ = SplitMix64(&sm);
+  state1_ = SplitMix64(&sm);
+  if (state0_ == 0 && state1_ == 0) state1_ = 1;  // xorshift dead state
+}
+
+uint64_t Random::Next() {
+  uint64_t s1 = state0_;
+  const uint64_t s0 = state1_;
+  const uint64_t result = s0 + s1;
+  state0_ = s0;
+  s1 ^= s1 << 23;
+  state1_ = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Random::NextDouble() {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace twrs

@@ -1,0 +1,29 @@
+#ifndef TWRS_UTIL_STOPWATCH_H_
+#define TWRS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace twrs {
+
+/// Wall-clock stopwatch used by the experiment harness to time the run
+/// generation and merge phases separately, as Chapter 6 of the paper does.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_UTIL_STOPWATCH_H_

@@ -1,0 +1,36 @@
+#ifndef TWRS_UTIL_TABLE_PRINTER_H_
+#define TWRS_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace twrs {
+
+/// Renders aligned ASCII tables; the benchmark harness uses it to print the
+/// same rows/series the paper's tables and figures report.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for mixed string/numeric rows.
+  void AddRow(std::initializer_list<std::string> cells);
+
+  /// Writes the table (header, separator, rows) to the stream.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with the given precision, trimming trailing zeros.
+  static std::string Num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_UTIL_TABLE_PRINTER_H_

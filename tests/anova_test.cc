@@ -1,0 +1,200 @@
+#include "stats/anova.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "tests/test_util.h"
+
+namespace twrs {
+namespace {
+
+Observation Obs(std::vector<int> levels, double y) {
+  Observation obs;
+  obs.levels = std::move(levels);
+  obs.y = y;
+  return obs;
+}
+
+TEST(DescriptiveTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({5}), 0.0);
+  EXPECT_NEAR(SampleStdDev({2, 4, 4, 4, 5, 5, 7, 9}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(HarmonicMean({1, 1}), 1.0);
+  EXPECT_NEAR(HarmonicMean({2, 3}), 2.4, 1e-12);
+  EXPECT_DOUBLE_EQ(HarmonicMean({1, 0}), 0.0);
+}
+
+TEST(AnovaTest, OneWayHandComputedFixture) {
+  // Three groups of two observations: {1, 3}, {5, 7}, {9, 11}.
+  // Grand mean = 6; group means 2, 6, 10.
+  // SS_factor = 2*((2-6)^2 + 0 + (10-6)^2) = 64; SS_error = 4*1 + ... = 6
+  // with df = (3-1, 6-1-2) = (2, 3).
+  std::vector<Observation> obs = {Obs({0}, 1), Obs({0}, 3), Obs({1}, 5),
+                                  Obs({1}, 7), Obs({2}, 9), Obs({2}, 11)};
+  AnovaResult result;
+  ASSERT_TWRS_OK(FitAnova(obs, {3}, {{{0}}}, &result));
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_NEAR(result.rows[0].ss, 64.0, 1e-9);
+  EXPECT_EQ(result.rows[0].df, 2);
+  EXPECT_NEAR(result.ss_error, 6.0, 1e-9);
+  EXPECT_EQ(result.df_error, 3);
+  EXPECT_NEAR(result.ms_error, 2.0, 1e-9);
+  EXPECT_NEAR(result.rows[0].f, 16.0, 1e-9);
+  EXPECT_NEAR(result.grand_mean, 6.0, 1e-12);
+  // F(2,3) = 16 has p ~ 0.025: significant at 0.05.
+  EXPECT_LT(result.rows[0].significance, 0.05);
+  EXPECT_GT(result.rows[0].significance, 0.01);
+  EXPECT_NEAR(result.r_squared, 64.0 / 70.0, 1e-9);
+  EXPECT_NEAR(result.sigma, std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(result.cv_percent, 100.0 * std::sqrt(2.0) / 6.0, 1e-6);
+}
+
+TEST(AnovaTest, TwoWayWithInteractionDecomposition) {
+  // 2x2 design with n=2; additive structure plus a pure interaction term.
+  // y = mu + a_i + b_j + (ab)_ij with a = {-1, +1}, b = {-2, +2},
+  // (ab) = {+1, -1; -1, +1}, mu = 10.
+  std::vector<Observation> obs;
+  const double a[2] = {-1, 1};
+  const double b[2] = {-2, 2};
+  const double ab[2][2] = {{1, -1}, {-1, 1}};
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      for (int r = 0; r < 2; ++r) {
+        const double noise = (r == 0 ? 0.5 : -0.5);
+        obs.push_back(Obs({i, j}, 10 + a[i] + b[j] + ab[i][j] + noise));
+      }
+    }
+  }
+  AnovaResult result;
+  ASSERT_TWRS_OK(
+      FitAnova(obs, {2, 2}, {{{0}}, {{1}}, {{0, 1}}}, &result));
+  ASSERT_EQ(result.rows.size(), 3u);
+  // SS_A = N * a^2 averaged: 8 observations, effect ±1 -> SS = 8.
+  EXPECT_NEAR(result.rows[0].ss, 8.0, 1e-9);
+  EXPECT_EQ(result.rows[0].df, 1);
+  // SS_B: effect ±2 -> SS = 8 * 4 = 32.
+  EXPECT_NEAR(result.rows[1].ss, 32.0, 1e-9);
+  // SS_AB: effect ±1 -> SS = 8.
+  EXPECT_NEAR(result.rows[2].ss, 8.0, 1e-9);
+  // Residual: each cell has ±0.5 around its mean -> SS = 8 * 0.25 = 2.
+  EXPECT_NEAR(result.ss_error, 2.0, 1e-9);
+  EXPECT_EQ(result.df_error, 4);
+  // Orthogonal decomposition: total = sum of parts.
+  EXPECT_NEAR(result.ss_total,
+              result.rows[0].ss + result.rows[1].ss + result.rows[2].ss +
+                  result.ss_error,
+              1e-9);
+}
+
+TEST(AnovaTest, UnmodeledInteractionLandsInResidual) {
+  // Same data, but the model omits the interaction: SS_AB moves into the
+  // residual and R^2 drops accordingly.
+  std::vector<Observation> obs;
+  const double ab[2][2] = {{1, -1}, {-1, 1}};
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      for (int r = 0; r < 2; ++r) {
+        obs.push_back(Obs({i, j}, 10 + ab[i][j] + (r == 0 ? 0.5 : -0.5)));
+      }
+    }
+  }
+  AnovaResult full;
+  ASSERT_TWRS_OK(FitAnova(obs, {2, 2}, {{{0}}, {{1}}, {{0, 1}}}, &full));
+  AnovaResult reduced;
+  ASSERT_TWRS_OK(FitAnova(obs, {2, 2}, {{{0}}, {{1}}}, &reduced));
+  EXPECT_NEAR(reduced.ss_error, full.ss_error + 8.0, 1e-9);
+  EXPECT_LT(reduced.r_squared, full.r_squared);
+}
+
+TEST(AnovaTest, SignificantFactorDetected) {
+  // Factor 0 drives the response strongly; factor 1 is noise-level.
+  std::vector<Observation> obs;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      for (int r = 0; r < 4; ++r) {
+        // Jitter varies with the replicate only, so factor 1 has exactly
+        // zero effect while the residual variance stays positive.
+        const double jitter = 0.1 * ((i * 31 + r * 7) % 5 - 2);
+        obs.push_back(Obs({i, j}, 10.0 * i + jitter));
+      }
+    }
+  }
+  AnovaResult result;
+  ASSERT_TWRS_OK(FitAnova(obs, {3, 3}, {{{0}}, {{1}}}, &result));
+  EXPECT_LT(result.rows[0].significance, 1e-6);
+  EXPECT_GT(result.rows[0].power, 0.99);
+  EXPECT_GT(result.rows[1].significance, 0.05);
+  EXPECT_GT(result.r_squared, 0.99);
+}
+
+TEST(AnovaTest, DeterministicResponseHasZeroResidual) {
+  // The paper's sorted-input model: constant response, zero variance.
+  std::vector<Observation> obs;
+  for (int i = 0; i < 2; ++i) {
+    for (int r = 0; r < 3; ++r) obs.push_back(Obs({i}, 1.0));
+  }
+  AnovaResult result;
+  ASSERT_TWRS_OK(FitAnova(obs, {2}, {{{0}}}, &result));
+  EXPECT_NEAR(result.ss_error, 0.0, 1e-12);
+  EXPECT_NEAR(result.grand_mean, 1.0, 1e-12);
+  EXPECT_EQ(result.rows[0].significance, 1.0);  // factor has no effect
+}
+
+TEST(AnovaTest, InvalidInputsRejected) {
+  AnovaResult result;
+  EXPECT_TRUE(FitAnova({}, {2}, {{{0}}}, &result).IsInvalidArgument());
+  EXPECT_TRUE(FitAnova({Obs({5}, 1)}, {2}, {{{0}}}, &result)
+                  .IsInvalidArgument());  // level out of range
+  EXPECT_TRUE(FitAnova({Obs({0, 0}, 1)}, {2}, {{{0}}}, &result)
+                  .IsInvalidArgument());  // arity mismatch
+  EXPECT_TRUE(FitAnova({Obs({0}, 1)}, {2}, {{{0, 0}}}, &result)
+                  .IsInvalidArgument());  // duplicate factor in term
+  EXPECT_TRUE(FitAnova({Obs({0}, 1)}, {2}, {{{3}}}, &result)
+                  .IsInvalidArgument());  // unknown factor
+}
+
+TEST(AnovaTest, WlsDownWeightsNoisyLevels) {
+  // Level 1 of factor 0 is 100x noisier; WLS must weight it down.
+  std::vector<Observation> obs;
+  for (int r = 0; r < 8; ++r) {
+    obs.push_back(Obs({0}, 10 + 0.01 * (r % 2 == 0 ? 1 : -1)));
+    obs.push_back(Obs({1}, 20 + 1.0 * (r % 2 == 0 ? 1 : -1)));
+  }
+  ASSERT_TWRS_OK(ApplyWlsWeights(&obs, 0, 2));
+  double w0 = 0.0;
+  double w1 = 0.0;
+  for (const Observation& o : obs) {
+    (o.levels[0] == 0 ? w0 : w1) = o.weight;
+  }
+  EXPECT_GT(w0, w1 * 100);
+  AnovaResult result;
+  ASSERT_TWRS_OK(FitAnova(obs, {2}, {{{0}}}, &result));
+  EXPECT_LT(result.rows[0].significance, 1e-6);
+}
+
+TEST(AnovaTest, CombineFactorsBuildsMixedRadixLevels) {
+  std::vector<Observation> obs = {Obs({1, 2}, 5.0), Obs({0, 1}, 3.0)};
+  int num_levels = 0;
+  auto combined = CombineFactors(obs, {0, 1}, {2, 3}, &num_levels);
+  EXPECT_EQ(num_levels, 6);
+  ASSERT_EQ(combined.size(), 2u);
+  EXPECT_EQ(combined[0].levels, std::vector<int>({1 * 3 + 2}));
+  EXPECT_EQ(combined[1].levels, std::vector<int>({0 * 3 + 1}));
+  EXPECT_DOUBLE_EQ(combined[0].y, 5.0);
+}
+
+TEST(AnovaTest, TermNames) {
+  AnovaTerm main{{1}};
+  AnovaTerm interaction{{0, 2}};
+  std::vector<std::string> names = {"alpha", "beta", "gamma"};
+  EXPECT_EQ(main.Name(names), "beta");
+  EXPECT_EQ(interaction.Name(names), "(alpha*gamma)");
+}
+
+}  // namespace
+}  // namespace twrs

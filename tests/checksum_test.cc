@@ -1,0 +1,79 @@
+#include "util/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace twrs {
+namespace {
+
+TEST(KeyChecksumTest, EmptyChecksumsAreEqual) {
+  EXPECT_TRUE(KeyChecksum() == KeyChecksum());
+}
+
+TEST(KeyChecksumTest, OrderIndependent) {
+  std::vector<Key> keys = {5, -1, 42, 42, 0, 1000000007};
+  KeyChecksum forward;
+  for (Key k : keys) forward.Add(k);
+  std::reverse(keys.begin(), keys.end());
+  KeyChecksum backward;
+  for (Key k : keys) backward.Add(k);
+  EXPECT_TRUE(forward == backward);
+}
+
+TEST(KeyChecksumTest, DetectsMissingRecord) {
+  KeyChecksum full;
+  KeyChecksum partial;
+  for (Key k : {1, 2, 3}) full.Add(k);
+  for (Key k : {1, 2}) partial.Add(k);
+  EXPECT_FALSE(full == partial);
+}
+
+TEST(KeyChecksumTest, DetectsAlteredRecord) {
+  KeyChecksum a;
+  KeyChecksum b;
+  for (Key k : {1, 2, 3}) a.Add(k);
+  for (Key k : {1, 2, 4}) b.Add(k);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(KeyChecksumTest, DetectsCompensatingSwapThatPreservesSum) {
+  // {0, 10} and {4, 6} have the same count and sum; the mixed xor must
+  // still distinguish them.
+  KeyChecksum a;
+  KeyChecksum b;
+  for (Key k : {0, 10}) a.Add(k);
+  for (Key k : {4, 6}) b.Add(k);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(KeyChecksumTest, DetectsDuplicationSwap) {
+  // Same sum, same count, keys replaced by duplicates.
+  KeyChecksum a;
+  KeyChecksum b;
+  for (Key k : {2, 2, 2}) a.Add(k);
+  for (Key k : {1, 2, 3}) b.Add(k);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(KeyChecksumTest, RandomPermutationsAlwaysMatch) {
+  Random rng(99);
+  std::vector<Key> keys(500);
+  for (Key& k : keys) k = static_cast<Key>(rng.Next());
+  KeyChecksum original;
+  for (Key k : keys) original.Add(k);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (size_t i = keys.size(); i > 1; --i) {
+      std::swap(keys[i - 1], keys[rng.Uniform(i)]);
+    }
+    KeyChecksum shuffled;
+    for (Key k : keys) shuffled.Add(k);
+    EXPECT_TRUE(original == shuffled);
+  }
+}
+
+}  // namespace
+}  // namespace twrs

@@ -1,0 +1,172 @@
+#include "heap/double_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace twrs {
+namespace {
+
+TaggedRecord R(Key key, uint32_t run = 0) { return TaggedRecord{key, run}; }
+
+TEST(DoubleHeapTest, StartsEmpty) {
+  DoubleHeap heap(10);
+  EXPECT_EQ(heap.capacity(), 10u);
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_TRUE(heap.Empty(HeapSide::kBottom));
+  EXPECT_TRUE(heap.Empty(HeapSide::kTop));
+}
+
+TEST(DoubleHeapTest, BottomPopsDescending) {
+  DoubleHeap heap(10);
+  for (Key k : {3, 1, 4, 1, 5}) {
+    ASSERT_TRUE(heap.Push(HeapSide::kBottom, R(k)));
+  }
+  std::vector<Key> out;
+  while (!heap.Empty(HeapSide::kBottom)) {
+    out.push_back(heap.Pop(HeapSide::kBottom).key);
+  }
+  EXPECT_EQ(out, std::vector<Key>({5, 4, 3, 1, 1}));
+}
+
+TEST(DoubleHeapTest, TopPopsAscending) {
+  DoubleHeap heap(10);
+  for (Key k : {3, 1, 4, 1, 5}) {
+    ASSERT_TRUE(heap.Push(HeapSide::kTop, R(k)));
+  }
+  std::vector<Key> out;
+  while (!heap.Empty(HeapSide::kTop)) {
+    out.push_back(heap.Pop(HeapSide::kTop).key);
+  }
+  EXPECT_EQ(out, std::vector<Key>({1, 1, 3, 4, 5}));
+}
+
+TEST(DoubleHeapTest, SidesShareCapacity) {
+  DoubleHeap heap(4);
+  EXPECT_TRUE(heap.Push(HeapSide::kBottom, R(1)));
+  EXPECT_TRUE(heap.Push(HeapSide::kBottom, R(2)));
+  EXPECT_TRUE(heap.Push(HeapSide::kTop, R(3)));
+  EXPECT_TRUE(heap.Push(HeapSide::kTop, R(4)));
+  EXPECT_TRUE(heap.Full());
+  EXPECT_FALSE(heap.Push(HeapSide::kBottom, R(5)));
+  EXPECT_FALSE(heap.Push(HeapSide::kTop, R(5)));
+  // Popping one side frees a slot the other side can claim (Figs 4.4/4.5).
+  heap.Pop(HeapSide::kBottom);
+  EXPECT_TRUE(heap.Push(HeapSide::kTop, R(6)));
+  EXPECT_EQ(heap.SideSize(HeapSide::kTop), 3u);
+  EXPECT_EQ(heap.SideSize(HeapSide::kBottom), 1u);
+}
+
+TEST(DoubleHeapTest, OneSideCanFillTheWholeArray) {
+  // §4.1: if the TopHeap grows to occupy the whole memory, the algorithm is
+  // equivalent to RS.
+  DoubleHeap heap(8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(heap.Push(HeapSide::kTop, R(i)));
+  }
+  EXPECT_TRUE(heap.Full());
+  EXPECT_EQ(heap.SideSize(HeapSide::kTop), 8u);
+  std::vector<Key> out;
+  while (!heap.Empty(HeapSide::kTop)) out.push_back(heap.Pop(HeapSide::kTop).key);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(DoubleHeapTest, PaperFigure42Example) {
+  // Figure 4.2/4.3: BottomHeap {33,28,32,16,20,22,4} (max), TopHeap
+  // {52,54,72,75,64,81,77} (min) stored in one array.
+  DoubleHeap heap(14);
+  for (Key k : {33, 28, 32, 16, 20, 22, 4}) heap.Push(HeapSide::kBottom, R(k));
+  for (Key k : {52, 54, 72, 75, 64, 81, 77}) heap.Push(HeapSide::kTop, R(k));
+  ASSERT_TRUE(heap.IsValid());
+  EXPECT_EQ(heap.Top(HeapSide::kBottom).key, 33);
+  EXPECT_EQ(heap.Top(HeapSide::kTop).key, 52);
+  // Figure 4.4: removing the BottomHeap top leaves room...
+  EXPECT_EQ(heap.Pop(HeapSide::kBottom).key, 33);
+  // ...Figure 4.5: which the TopHeap can use (inserting 53).
+  EXPECT_TRUE(heap.Push(HeapSide::kTop, R(53)));
+  ASSERT_TRUE(heap.IsValid());
+  EXPECT_EQ(heap.Top(HeapSide::kTop).key, 52);
+  EXPECT_EQ(heap.SideSize(HeapSide::kTop), 8u);
+  EXPECT_EQ(heap.SideSize(HeapSide::kBottom), 6u);
+}
+
+TEST(DoubleHeapTest, LaterRunRecordsSinkBelowCurrentRun) {
+  DoubleHeap heap(8);
+  heap.Push(HeapSide::kTop, R(100, 0));
+  heap.Push(HeapSide::kTop, R(1, 1));  // next run: must rank after key 100
+  EXPECT_EQ(heap.Top(HeapSide::kTop).key, 100);
+  EXPECT_TRUE(heap.TopIsRun(HeapSide::kTop, 0));
+  heap.Pop(HeapSide::kTop);
+  EXPECT_FALSE(heap.TopIsRun(HeapSide::kTop, 0));
+  EXPECT_TRUE(heap.TopIsRun(HeapSide::kTop, 1));
+
+  heap.Push(HeapSide::kBottom, R(1, 0));
+  heap.Push(HeapSide::kBottom, R(100, 1));  // next run sinks on Bottom too
+  EXPECT_EQ(heap.Top(HeapSide::kBottom).key, 1);
+  EXPECT_TRUE(heap.TopIsRun(HeapSide::kBottom, 0));
+}
+
+TEST(DoubleHeapTest, PopLastLeafShrinksSide) {
+  DoubleHeap heap(6);
+  for (Key k : {1, 2, 3}) heap.Push(HeapSide::kBottom, R(k));
+  const TaggedRecord leaf = heap.PopLastLeaf(HeapSide::kBottom);
+  EXPECT_EQ(heap.SideSize(HeapSide::kBottom), 2u);
+  EXPECT_TRUE(heap.IsValid());
+  // Leaf is one of the stored records.
+  EXPECT_TRUE(leaf.key >= 1 && leaf.key <= 3);
+}
+
+TEST(DoubleHeapTest, HeapSideNames) {
+  EXPECT_STREQ(HeapSideName(HeapSide::kBottom), "Bottom");
+  EXPECT_STREQ(HeapSideName(HeapSide::kTop), "Top");
+}
+
+TEST(DoubleHeapTest, RandomizedMixedOperationsKeepInvariants) {
+  Random rng(77);
+  DoubleHeap heap(64);
+  std::vector<Key> bottom_popped;
+  std::vector<Key> top_popped;
+  for (int step = 0; step < 5000; ++step) {
+    const HeapSide side =
+        rng.OneIn2() ? HeapSide::kBottom : HeapSide::kTop;
+    if (!heap.Full() && (heap.Empty(side) || rng.Uniform(3) != 0)) {
+      heap.Push(side, R(static_cast<Key>(rng.Uniform(10000))));
+    } else if (!heap.Empty(side)) {
+      const Key k = heap.Pop(side).key;
+      (side == HeapSide::kBottom ? bottom_popped : top_popped).push_back(k);
+    }
+    ASSERT_TRUE(heap.IsValid()) << "step " << step;
+    ASSERT_LE(heap.size(), heap.capacity());
+  }
+  // Within one uninterrupted drain the order is monotone; across pushes it
+  // is not, so only validate the heap property (done above) plus totals.
+  EXPECT_GT(bottom_popped.size() + top_popped.size(), 1000u);
+}
+
+TEST(DoubleHeapTest, DrainAfterMixedInsertsIsSorted) {
+  Random rng(78);
+  for (int trial = 0; trial < 20; ++trial) {
+    DoubleHeap heap(128);
+    while (!heap.Full()) {
+      const HeapSide side =
+          rng.OneIn2() ? HeapSide::kBottom : HeapSide::kTop;
+      heap.Push(side, R(static_cast<Key>(rng.Uniform(100000))));
+    }
+    std::vector<Key> bottom;
+    while (!heap.Empty(HeapSide::kBottom)) {
+      bottom.push_back(heap.Pop(HeapSide::kBottom).key);
+    }
+    std::vector<Key> top;
+    while (!heap.Empty(HeapSide::kTop)) {
+      top.push_back(heap.Pop(HeapSide::kTop).key);
+    }
+    EXPECT_TRUE(std::is_sorted(bottom.rbegin(), bottom.rend()));
+    EXPECT_TRUE(std::is_sorted(top.begin(), top.end()));
+  }
+}
+
+}  // namespace
+}  // namespace twrs

@@ -1,0 +1,187 @@
+#include "io/env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "io/mem_env.h"
+#include "io/posix_env.h"
+#include "tests/test_util.h"
+
+namespace twrs {
+namespace {
+
+using testing::MakeTempDir;
+
+enum class EnvKind { kMem, kPosix };
+
+// The Env contract must hold identically for the in-memory test filesystem
+// and the production POSIX one.
+class EnvTest : public ::testing::TestWithParam<EnvKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == EnvKind::kMem) {
+      env_ = std::make_unique<MemEnv>();
+      dir_ = "mem";
+    } else {
+      env_ = std::make_unique<PosixEnv>();
+      dir_ = MakeTempDir();
+    }
+    ASSERT_TWRS_OK(env_->CreateDirIfMissing(dir_));
+  }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  std::unique_ptr<Env> env_;
+  std::string dir_;
+};
+
+TEST_P(EnvTest, WriteThenReadBack) {
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TWRS_OK(env_->NewWritableFile(Path("f"), &w));
+  ASSERT_TWRS_OK(w->Append("hello ", 6));
+  ASSERT_TWRS_OK(w->Append("world", 5));
+  ASSERT_TWRS_OK(w->Close());
+
+  std::unique_ptr<SequentialFile> r;
+  ASSERT_TWRS_OK(env_->NewSequentialFile(Path("f"), &r));
+  char buf[32] = {0};
+  size_t got = 0;
+  ASSERT_TWRS_OK(r->Read(buf, sizeof(buf), &got));
+  EXPECT_EQ(got, 11u);
+  EXPECT_EQ(std::string(buf, got), "hello world");
+}
+
+TEST_P(EnvTest, SequentialReadReportsEof) {
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TWRS_OK(env_->NewWritableFile(Path("f"), &w));
+  ASSERT_TWRS_OK(w->Append("abc", 3));
+  ASSERT_TWRS_OK(w->Close());
+
+  std::unique_ptr<SequentialFile> r;
+  ASSERT_TWRS_OK(env_->NewSequentialFile(Path("f"), &r));
+  char buf[8];
+  size_t got = 0;
+  ASSERT_TWRS_OK(r->Read(buf, 3, &got));
+  EXPECT_EQ(got, 3u);
+  ASSERT_TWRS_OK(r->Read(buf, 3, &got));
+  EXPECT_EQ(got, 0u);
+}
+
+TEST_P(EnvTest, SkipAdvancesPosition) {
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TWRS_OK(env_->NewWritableFile(Path("f"), &w));
+  ASSERT_TWRS_OK(w->Append("0123456789", 10));
+  ASSERT_TWRS_OK(w->Close());
+
+  std::unique_ptr<SequentialFile> r;
+  ASSERT_TWRS_OK(env_->NewSequentialFile(Path("f"), &r));
+  ASSERT_TWRS_OK(r->Skip(4));
+  char buf[4];
+  size_t got = 0;
+  ASSERT_TWRS_OK(r->Read(buf, 3, &got));
+  EXPECT_EQ(std::string(buf, got), "456");
+}
+
+TEST_P(EnvTest, OpenMissingFileFails) {
+  std::unique_ptr<SequentialFile> r;
+  EXPECT_FALSE(env_->NewSequentialFile(Path("missing"), &r).ok());
+}
+
+TEST_P(EnvTest, FileExistsAndRemove) {
+  EXPECT_FALSE(env_->FileExists(Path("f")));
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TWRS_OK(env_->NewWritableFile(Path("f"), &w));
+  ASSERT_TWRS_OK(w->Close());
+  EXPECT_TRUE(env_->FileExists(Path("f")));
+  ASSERT_TWRS_OK(env_->RemoveFile(Path("f")));
+  EXPECT_FALSE(env_->FileExists(Path("f")));
+  EXPECT_FALSE(env_->RemoveFile(Path("f")).ok());
+}
+
+TEST_P(EnvTest, GetFileSize) {
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TWRS_OK(env_->NewWritableFile(Path("f"), &w));
+  ASSERT_TWRS_OK(w->Append("12345", 5));
+  ASSERT_TWRS_OK(w->Close());
+  uint64_t size = 0;
+  ASSERT_TWRS_OK(env_->GetFileSize(Path("f"), &size));
+  EXPECT_EQ(size, 5u);
+}
+
+TEST_P(EnvTest, RandomRWFileWritesAtArbitraryOffsets) {
+  std::unique_ptr<RandomRWFile> f;
+  ASSERT_TWRS_OK(env_->NewRandomRWFile(Path("f"), &f));
+  // Write the tail before the head, as the reverse run writer does.
+  ASSERT_TWRS_OK(f->WriteAt(8, "TAIL", 4));
+  ASSERT_TWRS_OK(f->WriteAt(0, "HEAD", 4));
+  char buf[4];
+  ASSERT_TWRS_OK(f->ReadAt(8, buf, 4));
+  EXPECT_EQ(std::string(buf, 4), "TAIL");
+  ASSERT_TWRS_OK(f->ReadAt(0, buf, 4));
+  EXPECT_EQ(std::string(buf, 4), "HEAD");
+  ASSERT_TWRS_OK(f->Close());
+}
+
+TEST_P(EnvTest, RandomRWReadPastEndFails) {
+  std::unique_ptr<RandomRWFile> f;
+  ASSERT_TWRS_OK(env_->NewRandomRWFile(Path("f"), &f));
+  ASSERT_TWRS_OK(f->WriteAt(0, "abc", 3));
+  char buf[8];
+  EXPECT_FALSE(f->ReadAt(0, buf, 8).ok());
+}
+
+TEST_P(EnvTest, ReopenRandomRWPreservesContents) {
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env_->NewRandomRWFile(Path("f"), &f));
+    ASSERT_TWRS_OK(f->WriteAt(0, "01234567", 8));
+    ASSERT_TWRS_OK(f->Close());
+  }
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env_->ReopenRandomRWFile(Path("f"), &f));
+    ASSERT_TWRS_OK(f->WriteAt(4, "XY", 2));  // patch, no truncation
+    ASSERT_TWRS_OK(f->Close());
+  }
+  std::unique_ptr<SequentialFile> r;
+  ASSERT_TWRS_OK(env_->NewSequentialFile(Path("f"), &r));
+  char buf[8];
+  size_t got = 0;
+  ASSERT_TWRS_OK(r->Read(buf, 8, &got));
+  EXPECT_EQ(std::string(buf, got), "0123XY67");
+}
+
+TEST_P(EnvTest, ReopenMissingFileFails) {
+  std::unique_ptr<RandomRWFile> f;
+  EXPECT_FALSE(env_->ReopenRandomRWFile(Path("missing"), &f).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvTest,
+                         ::testing::Values(EnvKind::kMem, EnvKind::kPosix),
+                         [](const ::testing::TestParamInfo<EnvKind>& info) {
+                           return info.param == EnvKind::kMem ? "Mem"
+                                                              : "Posix";
+                         });
+
+TEST(MemEnvTest, FileContentsHelper) {
+  MemEnv env;
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TWRS_OK(env.NewWritableFile("x", &w));
+  ASSERT_TWRS_OK(w->Append("ab", 2));
+  ASSERT_TWRS_OK(w->Close());
+  ASSERT_NE(env.FileContents("x"), nullptr);
+  EXPECT_EQ(env.FileContents("x")->size(), 2u);
+  EXPECT_EQ(env.FileContents("y"), nullptr);
+  EXPECT_EQ(env.FileCount(), 1u);
+}
+
+TEST(EnvTest2, DefaultEnvIsUsable) {
+  Env* env = Env::Default();
+  ASSERT_NE(env, nullptr);
+  EXPECT_EQ(env, Env::Default());  // singleton
+}
+
+}  // namespace
+}  // namespace twrs

@@ -1,0 +1,156 @@
+#include "merge/external_sorter.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/load_sort_store.h"
+#include "io/mem_env.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace twrs {
+namespace {
+
+using testing::ChecksumOf;
+using testing::Drain;
+using testing::GenerateRuns;
+
+TEST(LoadSortStoreTest, RunsAreMemorySized) {
+  LoadSortStoreOptions options;
+  options.memory_records = 10;
+  LoadSortStore lss(options);
+  std::vector<Key> input;
+  for (int i = 25; i > 0; --i) input.push_back(i);
+  auto result = GenerateRuns(&lss, input);
+  ASSERT_EQ(result.stats.run_lengths.size(), 3u);
+  EXPECT_EQ(result.stats.run_lengths[0], 10u);
+  EXPECT_EQ(result.stats.run_lengths[1], 10u);
+  EXPECT_EQ(result.stats.run_lengths[2], 5u);
+  testing::ExpectValidRuns(result.runs, input);
+}
+
+TEST(LoadSortStoreTest, RejectsZeroMemory) {
+  LoadSortStoreOptions options;
+  LoadSortStore lss(options);
+  VectorSource source({1});
+  CollectingRunSink sink;
+  EXPECT_TRUE(lss.Generate(&source, &sink, nullptr).IsInvalidArgument());
+}
+
+TEST(ExternalSorterTest, AlgorithmNames) {
+  EXPECT_STREQ(RunGenAlgorithmName(RunGenAlgorithm::kReplacementSelection),
+               "RS");
+  EXPECT_STREQ(
+      RunGenAlgorithmName(RunGenAlgorithm::kTwoWayReplacementSelection),
+      "2WRS");
+  EXPECT_STREQ(RunGenAlgorithmName(RunGenAlgorithm::kLoadSortStore), "LSS");
+}
+
+// Every algorithm on every dataset must produce a sorted permutation of
+// the input through the full two-phase pipeline.
+using SortParam = std::tuple<int, int>;  // algorithm, dataset
+
+class ExternalSorterPipelineTest : public ::testing::TestWithParam<SortParam> {
+};
+
+TEST_P(ExternalSorterPipelineTest, SortsToAPermutation) {
+  const auto [algorithm, dataset] = GetParam();
+  MemEnv env;
+  WorkloadOptions wl;
+  wl.num_records = 5000;
+  wl.seed = 77;
+  wl.sections = 8;
+  auto input = Drain(MakeWorkload(static_cast<Dataset>(dataset), wl).get());
+
+  ExternalSortOptions options;
+  options.algorithm = static_cast<RunGenAlgorithm>(algorithm);
+  options.memory_records = 128;
+  options.twrs = TwoWayOptions::Recommended(128, 3);
+  options.fan_in = 4;
+  options.temp_dir = "tmp";
+  options.block_bytes = 512;
+  ExternalSorter sorter(&env, options);
+
+  VectorSource source(input);
+  ExternalSortResult result;
+  ASSERT_TWRS_OK(sorter.Sort(&source, "out", &result));
+
+  uint64_t count = 0;
+  KeyChecksum checksum;
+  ASSERT_TWRS_OK(VerifySortedFile(&env, "out", &count, &checksum));
+  EXPECT_EQ(count, input.size());
+  EXPECT_TRUE(checksum == ChecksumOf(input));
+  EXPECT_EQ(result.output_records, input.size());
+  EXPECT_GT(result.run_gen.num_runs(), 0u);
+  EXPECT_GE(result.total_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndDatasets, ExternalSorterPipelineTest,
+    ::testing::Combine(::testing::Range(0, 3),
+                       ::testing::Range(0, kNumDatasets)));
+
+TEST(ExternalSorterTest, EmptyInputProducesEmptySortedFile) {
+  MemEnv env;
+  ExternalSortOptions options;
+  options.memory_records = 16;
+  options.twrs = TwoWayOptions::Recommended(16);
+  options.temp_dir = "tmp";
+  ExternalSorter sorter(&env, options);
+  VectorSource source({});
+  ExternalSortResult result;
+  ASSERT_TWRS_OK(sorter.Sort(&source, "out", &result));
+  uint64_t count = 99;
+  ASSERT_TWRS_OK(VerifySortedFile(&env, "out", &count, nullptr));
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(ExternalSorterTest, TempFilesAreRemovedAfterSort) {
+  MemEnv env;
+  ExternalSortOptions options;
+  options.memory_records = 32;
+  options.twrs = TwoWayOptions::Recommended(32);
+  options.temp_dir = "tmp";
+  options.fan_in = 2;
+  ExternalSorter sorter(&env, options);
+  WorkloadOptions wl;
+  wl.num_records = 2000;
+  wl.seed = 5;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+  VectorSource source(input);
+  ASSERT_TWRS_OK(sorter.Sort(&source, "out", nullptr));
+  EXPECT_EQ(env.FileCount(), 1u);  // only the sorted output remains
+}
+
+TEST(ExternalSorterTest, SequentialSortsDoNotCollide) {
+  MemEnv env;
+  ExternalSortOptions options;
+  options.memory_records = 32;
+  options.twrs = TwoWayOptions::Recommended(32);
+  options.temp_dir = "tmp";
+  ExternalSorter sorter(&env, options);
+  for (int round = 0; round < 3; ++round) {
+    WorkloadOptions wl;
+    wl.num_records = 500;
+    wl.seed = 100 + round;
+    auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+    VectorSource source(input);
+    const std::string out = "out" + std::to_string(round);
+    ASSERT_TWRS_OK(sorter.Sort(&source, out, nullptr));
+    uint64_t count = 0;
+    KeyChecksum checksum;
+    ASSERT_TWRS_OK(VerifySortedFile(&env, out, &count, &checksum));
+    EXPECT_EQ(count, input.size());
+    EXPECT_TRUE(checksum == ChecksumOf(input));
+  }
+}
+
+TEST(VerifySortedFileTest, DetectsDisorder) {
+  MemEnv env;
+  ASSERT_TWRS_OK(WriteAllRecords(&env, "f", {3, 1, 2}));
+  EXPECT_TRUE(VerifySortedFile(&env, "f", nullptr, nullptr).IsCorruption());
+}
+
+}  // namespace
+}  // namespace twrs

@@ -1,0 +1,150 @@
+#include "merge/kway_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/run_sink.h"
+#include "io/mem_env.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace twrs {
+namespace {
+
+// Writes `keys` (ascending) as a plain forward run file.
+RunInfo MakeForwardRun(Env* env, const std::string& path,
+                       const std::vector<Key>& keys) {
+  EXPECT_TRUE(WriteAllRecords(env, path, keys).ok());
+  RunInfo run;
+  RunSegment seg;
+  seg.path = path;
+  seg.count = keys.size();
+  run.length = keys.size();
+  if (!keys.empty()) {
+    run.min_key = keys.front();
+    run.max_key = keys.back();
+  }
+  run.segments.push_back(std::move(seg));
+  return run;
+}
+
+// Writes a multi-segment 2WRS-style run through FileRunSink.
+RunInfo MakeFourStreamRun(Env* env, const std::string& prefix) {
+  FileRunSinkOptions options;
+  options.reverse.pages_per_file = 2;
+  options.reverse.page_bytes = 64;
+  FileRunSink sink(env, "d", prefix, options);
+  EXPECT_TRUE(sink.BeginRun().ok());
+  for (Key k : {15, 10, 5}) EXPECT_TRUE(sink.Append(kStream4, k).ok());
+  for (Key k : {20, 25}) EXPECT_TRUE(sink.Append(kStream3, k).ok());
+  for (Key k : {40, 35}) EXPECT_TRUE(sink.Append(kStream2, k).ok());
+  for (Key k : {50, 60}) EXPECT_TRUE(sink.Append(kStream1, k).ok());
+  EXPECT_TRUE(sink.EndRun().ok());
+  EXPECT_TRUE(sink.Finish().ok());
+  return sink.runs()[0];
+}
+
+std::vector<Key> MergeAll(Env* env, const std::vector<RunInfo>& runs) {
+  std::vector<Key> out;
+  Status s = KWayMerge(env, runs, 256, [&](Key k) {
+    out.push_back(k);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(RunCursorTest, IteratesMultiSegmentRun) {
+  MemEnv env;
+  RunInfo run = MakeFourStreamRun(&env, "r");
+  RunCursor cursor(&env, run);
+  ASSERT_TWRS_OK(cursor.Init());
+  std::vector<Key> keys;
+  while (cursor.valid()) {
+    keys.push_back(cursor.key());
+    ASSERT_TWRS_OK(cursor.Next());
+  }
+  EXPECT_EQ(keys, std::vector<Key>({5, 10, 15, 20, 25, 35, 40, 50, 60}));
+}
+
+TEST(RunCursorTest, EmptyRunIsImmediatelyInvalid) {
+  MemEnv env;
+  RunInfo run;
+  RunCursor cursor(&env, run);
+  ASSERT_TWRS_OK(cursor.Init());
+  EXPECT_FALSE(cursor.valid());
+}
+
+TEST(KWayMergeTest, MergesPlainRuns) {
+  MemEnv env;
+  std::vector<RunInfo> runs;
+  runs.push_back(MakeForwardRun(&env, "a", {2, 8, 12, 16}));
+  runs.push_back(MakeForwardRun(&env, "b", {3, 13, 14, 17}));
+  runs.push_back(MakeForwardRun(&env, "c", {1, 7, 9, 18}));
+  EXPECT_EQ(MergeAll(&env, runs),
+            std::vector<Key>({1, 2, 3, 7, 8, 9, 12, 13, 14, 16, 17, 18}));
+}
+
+TEST(KWayMergeTest, MergesMixedSegmentKinds) {
+  MemEnv env;
+  std::vector<RunInfo> runs;
+  runs.push_back(MakeFourStreamRun(&env, "r"));  // 5..60
+  runs.push_back(MakeForwardRun(&env, "f", {1, 22, 70}));
+  std::vector<Key> merged = MergeAll(&env, runs);
+  EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+  EXPECT_EQ(merged.size(), 12u);
+  EXPECT_EQ(merged.front(), 1);
+  EXPECT_EQ(merged.back(), 70);
+}
+
+TEST(KWayMergeTest, ZeroRunsYieldEmptyOutput) {
+  MemEnv env;
+  EXPECT_TRUE(MergeAll(&env, {}).empty());
+}
+
+TEST(KWayMergeTest, ToFileProducesRunInfo) {
+  MemEnv env;
+  std::vector<RunInfo> runs;
+  runs.push_back(MakeForwardRun(&env, "a", {1, 3}));
+  runs.push_back(MakeForwardRun(&env, "b", {2}));
+  RunInfo out;
+  ASSERT_TWRS_OK(KWayMergeToFile(&env, runs, 256, "merged", &out));
+  EXPECT_EQ(out.length, 3u);
+  EXPECT_EQ(out.min_key, 1);
+  EXPECT_EQ(out.max_key, 3);
+  std::vector<Key> keys;
+  ASSERT_TWRS_OK(ReadAllRecords(&env, "merged", &keys));
+  EXPECT_EQ(keys, std::vector<Key>({1, 2, 3}));
+}
+
+TEST(KWayMergeTest, RemoveRunFilesDeletesAllSegments) {
+  MemEnv env;
+  RunInfo run = MakeFourStreamRun(&env, "r");
+  ASSERT_GT(env.FileCount(), 0u);
+  ASSERT_TWRS_OK(RemoveRunFiles(&env, run));
+  EXPECT_EQ(env.FileCount(), 0u);
+}
+
+TEST(KWayMergeTest, RandomizedManyRunsProperty) {
+  Random rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    MemEnv env;
+    std::vector<RunInfo> runs;
+    std::vector<Key> all;
+    const size_t k = 1 + rng.Uniform(20);
+    for (size_t w = 0; w < k; ++w) {
+      std::vector<Key> keys(rng.Uniform(100));
+      for (Key& key : keys) key = static_cast<Key>(rng.Uniform(10000));
+      std::sort(keys.begin(), keys.end());
+      all.insert(all.end(), keys.begin(), keys.end());
+      runs.push_back(MakeForwardRun(&env, "run" + std::to_string(w), keys));
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(MergeAll(&env, runs), all) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace twrs

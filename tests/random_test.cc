@@ -1,0 +1,87 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace twrs {
+namespace {
+
+TEST(RandomTest, SameSeedSameStream) {
+  Random a(42);
+  Random b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, ZeroSeedIsValid) {
+  Random r(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.Next());
+  EXPECT_GT(seen.size(), 95u);  // not stuck
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random r(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[r.Uniform(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // each decile within 20% of expectation
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RandomTest, UniformIntInclusiveBounds) {
+  Random r(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = r.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, OneIn2IsRoughlyFair) {
+  Random r(17);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.OneIn2() ? 1 : 0;
+  EXPECT_GT(heads, 4700);
+  EXPECT_LT(heads, 5300);
+}
+
+}  // namespace
+}  // namespace twrs

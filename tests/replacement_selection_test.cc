@@ -1,0 +1,128 @@
+#include "core/replacement_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/record_source.h"
+#include "core/run_sink.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace twrs {
+namespace {
+
+using testing::ExpectValidRuns;
+using testing::GenerateRuns;
+
+std::unique_ptr<ReplacementSelection> MakeRs(size_t memory) {
+  ReplacementSelectionOptions options;
+  options.memory_records = memory;
+  return std::make_unique<ReplacementSelection>(options);
+}
+
+TEST(ReplacementSelectionTest, RejectsZeroMemory) {
+  auto rs = MakeRs(0);
+  VectorSource source({1});
+  CollectingRunSink sink;
+  EXPECT_TRUE(rs->Generate(&source, &sink, nullptr).IsInvalidArgument());
+}
+
+TEST(ReplacementSelectionTest, EmptyInputProducesNoRuns) {
+  auto rs = MakeRs(4);
+  auto result = GenerateRuns(rs.get(), {});
+  EXPECT_TRUE(result.runs.empty());
+  EXPECT_EQ(result.stats.num_runs(), 0u);
+}
+
+TEST(ReplacementSelectionTest, InputSmallerThanMemoryIsOneRun) {
+  auto rs = MakeRs(100);
+  auto result = GenerateRuns(rs.get(), {5, 3, 9, 1});
+  ASSERT_EQ(result.runs.size(), 1u);
+  EXPECT_EQ(result.runs[0], std::vector<Key>({1, 3, 5, 9}));
+}
+
+TEST(ReplacementSelectionTest, TiesExtendTheCurrentRun) {
+  // A record equal to the last output can still join the current run.
+  auto rs = MakeRs(2);
+  auto result = GenerateRuns(rs.get(), {5, 5, 5, 5, 5, 5});
+  EXPECT_EQ(result.runs.size(), 1u);
+}
+
+TEST(ReplacementSelectionTest, StatsMatchSinkRuns) {
+  auto rs = MakeRs(3);
+  std::vector<Key> input;
+  for (int i = 0; i < 100; ++i) input.push_back((i * 37) % 100);
+  auto result = GenerateRuns(rs.get(), input);
+  EXPECT_EQ(result.stats.num_runs(), result.runs.size());
+  uint64_t total = 0;
+  for (const auto& run : result.runs) total += run.size();
+  EXPECT_EQ(result.stats.total_records, total);
+  EXPECT_EQ(result.stats.total_records, input.size());
+  ExpectValidRuns(result.runs, input);
+}
+
+TEST(ReplacementSelectionTest, AverageRunLengthHelpers) {
+  RunGenStats stats;
+  stats.run_lengths = {100, 300};
+  stats.total_records = 400;
+  EXPECT_DOUBLE_EQ(stats.AverageRunLength(), 200.0);
+  EXPECT_DOUBLE_EQ(stats.AverageRunLengthRelative(100), 2.0);
+  RunGenStats empty;
+  EXPECT_DOUBLE_EQ(empty.AverageRunLength(), 0.0);
+}
+
+TEST(ReplacementSelectionTest, RandomInputRunsAverageTwiceMemory) {
+  // §3.5 (Knuth's snowplow): E[run length] -> 2x memory for random input.
+  const size_t memory = 500;
+  WorkloadOptions wl;
+  wl.num_records = 100000;
+  wl.seed = 42;
+  auto source = MakeWorkload(Dataset::kRandom, wl);
+  auto input = testing::Drain(source.get());
+  auto rs = MakeRs(memory);
+  auto result = GenerateRuns(rs.get(), input);
+  ExpectValidRuns(result.runs, input);
+  const double relative = result.stats.AverageRunLengthRelative(memory);
+  EXPECT_GT(relative, 1.8);
+  EXPECT_LT(relative, 2.2);
+}
+
+TEST(ReplacementSelectionTest, FirstRunIsAtLeastMemorySize) {
+  // Every run except possibly the last is at least the memory size.
+  auto rs = MakeRs(50);
+  WorkloadOptions wl;
+  wl.num_records = 5000;
+  wl.seed = 7;
+  auto source = MakeWorkload(Dataset::kRandom, wl);
+  auto input = testing::Drain(source.get());
+  auto result = GenerateRuns(rs.get(), input);
+  for (size_t i = 0; i + 1 < result.stats.run_lengths.size(); ++i) {
+    EXPECT_GE(result.stats.run_lengths[i], 50u) << "run " << i;
+  }
+}
+
+TEST(ReplacementSelectionTest, AllRunsSortedOnEveryDataset) {
+  for (int d = 0; d < kNumDatasets; ++d) {
+    WorkloadOptions wl;
+    wl.num_records = 3000;
+    wl.seed = 3;
+    auto source = MakeWorkload(static_cast<Dataset>(d), wl);
+    auto input = testing::Drain(source.get());
+    auto rs = MakeRs(64);
+    auto result = GenerateRuns(rs.get(), input);
+    ExpectValidRuns(result.runs, input);
+  }
+}
+
+TEST(ReplacementSelectionTest, UsesOnlyStream1) {
+  // RS emits a single increasing stream per run; the assembled run must
+  // equal stream 1 alone. CollectingRunSink would reject a disordered
+  // stream, so a successful run here proves single-stream output.
+  auto rs = MakeRs(4);
+  auto result = GenerateRuns(rs.get(), {4, 2, 7, 1, 9, 3, 8, 5});
+  ExpectValidRuns(result.runs, {4, 2, 7, 1, 9, 3, 8, 5});
+}
+
+}  // namespace
+}  // namespace twrs

@@ -1,0 +1,104 @@
+#include "model/snowplow.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace twrs {
+namespace {
+
+SnowplowModel UniformModel(int bins = 2048) {
+  SnowplowOptions options;
+  options.bins = bins;
+  return SnowplowModel(options, [](double) { return 1.0; });
+}
+
+TEST(SnowplowTest, MemoryIsConserved) {
+  SnowplowModel model = UniformModel();
+  EXPECT_NEAR(model.TotalMemory(), 1.0, 1e-9);
+  for (int run = 0; run < 5; ++run) {
+    model.SimulateRun();
+    EXPECT_NEAR(model.TotalMemory(), 1.0, 1e-6) << "run " << run;
+  }
+}
+
+TEST(SnowplowTest, StableSolutionYieldsRunLengthTwo) {
+  // §3.6.1: starting from the stable density m(x) = 2 - 2x, every run has
+  // length exactly twice the memory.
+  SnowplowModel model = UniformModel();
+  model.SetInitialDensity(SnowplowModel::StableUniformDensity);
+  for (int run = 0; run < 3; ++run) {
+    auto result = model.SimulateRun();
+    EXPECT_NEAR(result.run_length, 2.0, 0.01) << "run " << run;
+  }
+}
+
+TEST(SnowplowTest, FirstRunFromUniformMemoryIsEMinusOne) {
+  // With m(x, 0) = 1 the plow's arrival time solves T' = 1 + T, so the
+  // first run length is e - 1 (the classic first-run result).
+  SnowplowModel model = UniformModel();
+  auto result = model.SimulateRun();
+  EXPECT_NEAR(result.run_length, std::exp(1.0) - 1.0, 0.01);
+}
+
+TEST(SnowplowTest, ConvergesToStableSolution) {
+  // Fig 3.8: after three runs the density is indistinguishable from 2 - 2x.
+  SnowplowModel model = UniformModel();
+  for (int run = 0; run < 3; ++run) model.SimulateRun();
+  double max_error = 0.0;
+  for (double x = 0.05; x < 0.95; x += 0.05) {
+    max_error = std::max(
+        max_error,
+        std::fabs(model.DensityAt(x) - SnowplowModel::StableUniformDensity(x)));
+  }
+  EXPECT_LT(max_error, 0.05);
+  // And the run length settles at 2.
+  EXPECT_NEAR(model.SimulateRun().run_length, 2.0, 0.02);
+}
+
+TEST(SnowplowTest, RunLengthsIncreaseTowardsStable) {
+  SnowplowModel model = UniformModel();
+  const double first = model.SimulateRun().run_length;
+  const double second = model.SimulateRun().run_length;
+  const double third = model.SimulateRun().run_length;
+  EXPECT_LT(first, second);
+  EXPECT_NEAR(third, 2.0, 0.1);
+}
+
+TEST(SnowplowTest, DensityVanishesBehindThePlow) {
+  SnowplowModel model = UniformModel(512);
+  model.SimulateRun();
+  // Immediately after a run the plow sits at x = 0 again; density near 1.0
+  // (just cleared) is small, density near 0 has been refilling longest.
+  EXPECT_GT(model.DensityAt(0.02), model.DensityAt(0.98));
+}
+
+TEST(SnowplowTest, NonUniformInputChangesRunLength) {
+  // Input concentrated on low keys: the plow crawls through the dense
+  // region but sweeps the empty half instantly. The stable run length for
+  // data(x) = 2 * 1[x < 0.5] differs from the uniform case.
+  SnowplowOptions options;
+  options.bins = 2048;
+  SnowplowModel model(options,
+                      [](double x) { return x < 0.5 ? 2.0 : 0.0; });
+  double run_length = 0.0;
+  for (int run = 0; run < 8; ++run) run_length = model.SimulateRun().run_length;
+  EXPECT_NEAR(model.TotalMemory(), 1.0, 1e-6);
+  EXPECT_GT(run_length, 1.0);
+  EXPECT_LT(std::fabs(run_length - 2.0), 0.5);
+}
+
+TEST(SnowplowTest, HigherThroughputShortensDuration) {
+  SnowplowOptions fast;
+  fast.bins = 1024;
+  fast.k1 = 2.0;
+  SnowplowModel model(fast, [](double) { return 1.0; });
+  model.SetInitialDensity(SnowplowModel::StableUniformDensity);
+  auto result = model.SimulateRun();
+  // Duration halves but run length (k1 * duration) stays 2x memory.
+  EXPECT_NEAR(result.duration, 1.0, 0.02);
+  EXPECT_NEAR(result.run_length, 2.0, 0.02);
+}
+
+}  // namespace
+}  // namespace twrs

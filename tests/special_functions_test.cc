@@ -1,0 +1,131 @@
+#include "stats/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace twrs {
+namespace {
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCaseAtHalf) {
+  // I_{0.5}(a, a) = 0.5 for any a.
+  for (double a : {0.5, 1.0, 2.0, 7.5}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, a, 0.5), 0.5, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, ClosedFormChecks) {
+  // I_x(1, b) = 1 - (1-x)^b; I_x(a, 1) = x^a.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 3, 0.2),
+              1 - std::pow(0.8, 3), 1e-10);
+  EXPECT_NEAR(RegularizedIncompleteBeta(4, 1, 0.7), std::pow(0.7, 4), 1e-10);
+}
+
+TEST(IncompleteGammaTest, KnownValues) {
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(RegularizedLowerGamma(1.0, 2.0), 1 - std::exp(-2.0), 1e-10);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(RegularizedLowerGamma(0.5, 1.0), std::erf(1.0), 1e-9);
+  EXPECT_DOUBLE_EQ(RegularizedLowerGamma(3.0, 0.0), 0.0);
+  // Large-x branch (continued fraction).
+  EXPECT_NEAR(RegularizedLowerGamma(2.0, 10.0),
+              1 - std::exp(-10.0) * (1 + 10.0), 1e-9);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804, 1e-9);
+}
+
+TEST(FDistributionTest, KnownValues) {
+  // F(1, 1) has CDF 0.5 at f = 1 (median of F(1,1) is 1).
+  EXPECT_NEAR(FCdf(1.0, 1, 1), 0.5, 1e-9);
+  // F(d, d) has median 1 for any d.
+  EXPECT_NEAR(FCdf(1.0, 10, 10), 0.5, 1e-9);
+  // Published critical value: F_{0.95}(2, 10) = 4.103.
+  EXPECT_NEAR(FCdf(4.103, 2, 10), 0.95, 5e-4);
+  // F_{0.95}(5, 20) = 2.711.
+  EXPECT_NEAR(FCdf(2.711, 5, 20), 0.95, 5e-4);
+}
+
+TEST(FDistributionTest, QuantileInvertsCdf) {
+  for (double p : {0.5, 0.9, 0.95, 0.99}) {
+    for (auto [d1, d2] : {std::pair{2.0, 10.0}, std::pair{5.0, 40.0}}) {
+      const double f = FQuantile(p, d1, d2);
+      EXPECT_NEAR(FCdf(f, d1, d2), p, 1e-6);
+    }
+  }
+}
+
+TEST(NoncentralFTest, ZeroLambdaReducesToCentral) {
+  for (double f : {0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(NoncentralFCdf(f, 3, 20, 0.0), FCdf(f, 3, 20), 1e-9);
+  }
+}
+
+TEST(NoncentralFTest, LargerLambdaShiftsRight) {
+  // Noncentrality pushes mass to larger F values: CDF at a fixed point
+  // decreases with lambda.
+  const double base = NoncentralFCdf(2.0, 3, 20, 0.0);
+  const double shifted = NoncentralFCdf(2.0, 3, 20, 5.0);
+  const double far = NoncentralFCdf(2.0, 3, 20, 20.0);
+  EXPECT_GT(base, shifted);
+  EXPECT_GT(shifted, far);
+}
+
+TEST(NoncentralFTest, PowerGrowsWithEffectSize) {
+  // Observed power at the 5% critical value grows with lambda.
+  const double f_crit = FQuantile(0.95, 2, 30);
+  const double p1 = 1.0 - NoncentralFCdf(f_crit, 2, 30, 1.0);
+  const double p5 = 1.0 - NoncentralFCdf(f_crit, 2, 30, 5.0);
+  const double p20 = 1.0 - NoncentralFCdf(f_crit, 2, 30, 20.0);
+  EXPECT_LT(p1, p5);
+  EXPECT_LT(p5, p20);
+  EXPECT_GT(p20, 0.9);
+}
+
+TEST(StudentizedRangeTest, TwoGroupsInfiniteDfMatchesNormal) {
+  // For k = 2, q_{0.95}(2, inf) = sqrt(2) * z_{0.975} = 2.7718.
+  EXPECT_NEAR(StudentizedRangeCdf(2.7718, 2, 1e9), 0.95, 2e-3);
+}
+
+TEST(StudentizedRangeTest, PublishedCriticalValues) {
+  // Standard table values of q_{0.95}(k, df).
+  EXPECT_NEAR(StudentizedRangeCdf(3.314, 3, 1e9), 0.95, 3e-3);   // k=3, inf
+  EXPECT_NEAR(StudentizedRangeCdf(3.633, 4, 1e9), 0.95, 3e-3);   // k=4, inf
+  EXPECT_NEAR(StudentizedRangeCdf(3.578, 3, 20.0), 0.95, 5e-3);  // k=3, 20
+  EXPECT_NEAR(StudentizedRangeCdf(2.950, 2, 30.0), 0.95, 5e-3);  // k=2, 30
+}
+
+TEST(StudentizedRangeTest, MonotoneInQ) {
+  double previous = 0.0;
+  for (double q = 0.5; q < 6.0; q += 0.5) {
+    const double p = StudentizedRangeCdf(q, 4, 60.0);
+    EXPECT_GE(p, previous);
+    previous = p;
+  }
+  EXPECT_GT(previous, 0.99);
+}
+
+TEST(StudentizedRangeTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(StudentizedRangeCdf(-1.0, 3, 10), 0.0);
+  EXPECT_DOUBLE_EQ(StudentizedRangeCdf(0.0, 3, 10), 0.0);
+  EXPECT_DOUBLE_EQ(StudentizedRangeCdf(5.0, 1, 10), 1.0);
+}
+
+}  // namespace
+}  // namespace twrs

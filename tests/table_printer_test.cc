@@ -1,0 +1,47 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace twrs {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "2.5"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 2.5   |"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadMissingCells) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"x"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| x | "), std::string::npos);
+}
+
+TEST(TablePrinterTest, ExtraCellsAreDropped) {
+  TablePrinter table({"a"});
+  table.AddRow({"1", "spillover"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str().find("spillover"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsTrimTrailingZeros) {
+  EXPECT_EQ(TablePrinter::Num(2.0), "2");
+  EXPECT_EQ(TablePrinter::Num(2.5), "2.5");
+  EXPECT_EQ(TablePrinter::Num(2.126, 2), "2.13");
+  EXPECT_EQ(TablePrinter::Num(0.1000, 4), "0.1");
+  EXPECT_EQ(TablePrinter::Num(-1.50), "-1.5");
+}
+
+}  // namespace
+}  // namespace twrs

@@ -1,0 +1,93 @@
+#ifndef TWRS_TESTS_TEST_UTIL_H_
+#define TWRS_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/record_source.h"
+#include "core/run_generator.h"
+#include "core/run_sink.h"
+#include "util/checksum.h"
+#include "util/status.h"
+
+namespace twrs {
+namespace testing {
+
+/// gtest assertion on a twrs::Status.
+#define ASSERT_TWRS_OK(expr)                                 \
+  do {                                                       \
+    ::twrs::Status _s = (expr);                              \
+    ASSERT_TRUE(_s.ok()) << "status: " << _s.ToString();     \
+  } while (0)
+
+#define EXPECT_TWRS_OK(expr)                                 \
+  do {                                                       \
+    ::twrs::Status _s = (expr);                              \
+    EXPECT_TRUE(_s.ok()) << "status: " << _s.ToString();     \
+  } while (0)
+
+/// Reads a source to exhaustion.
+inline std::vector<Key> Drain(RecordSource* source) {
+  std::vector<Key> out;
+  Key key;
+  while (source->Next(&key)) out.push_back(key);
+  return out;
+}
+
+inline bool IsSortedAscending(const std::vector<Key>& keys) {
+  return std::is_sorted(keys.begin(), keys.end());
+}
+
+inline KeyChecksum ChecksumOf(const std::vector<Key>& keys) {
+  KeyChecksum sum;
+  for (Key k : keys) sum.Add(k);
+  return sum;
+}
+
+/// Output of GenerateRuns below.
+struct GenerateResult {
+  std::vector<std::vector<Key>> runs;  ///< each assembled ascending
+  RunGenStats stats;
+};
+
+/// Runs a generator over an in-memory input, collecting assembled runs.
+inline GenerateResult GenerateRuns(RunGenerator* generator,
+                                   std::vector<Key> input) {
+  VectorSource source(std::move(input));
+  CollectingRunSink sink;
+  GenerateResult result;
+  Status s = generator->Generate(&source, &sink, &result.stats);
+  EXPECT_TRUE(s.ok()) << "Generate: " << s.ToString();
+  result.runs = sink.collected();
+  return result;
+}
+
+/// Asserts the runs are individually sorted and jointly a permutation of
+/// the input.
+inline void ExpectValidRuns(const std::vector<std::vector<Key>>& runs,
+                            const std::vector<Key>& input) {
+  KeyChecksum output_sum;
+  for (const auto& run : runs) {
+    EXPECT_TRUE(IsSortedAscending(run)) << "run not sorted";
+    for (Key k : run) output_sum.Add(k);
+  }
+  EXPECT_TRUE(output_sum == ChecksumOf(input))
+      << "runs are not a permutation of the input";
+}
+
+/// Creates a unique scratch directory under /tmp for PosixEnv tests.
+inline std::string MakeTempDir() {
+  std::string templ = "/tmp/twrs_test_XXXXXX";
+  char* dir = mkdtemp(templ.data());
+  EXPECT_NE(dir, nullptr);
+  return std::string(dir);
+}
+
+}  // namespace testing
+}  // namespace twrs
+
+#endif  // TWRS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,91 @@
+#include "stats/tukey.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace twrs {
+namespace {
+
+Observation Obs(int level, double y) {
+  Observation obs;
+  obs.levels = {level};
+  obs.y = y;
+  return obs;
+}
+
+TEST(TukeyTest, WellSeparatedLevelsAreSignificant) {
+  std::vector<Observation> obs;
+  for (int r = 0; r < 6; ++r) {
+    obs.push_back(Obs(0, 1.0 + 0.1 * r));
+    obs.push_back(Obs(1, 50.0 + 0.1 * r));
+    obs.push_back(Obs(2, 100.0 + 0.1 * r));
+  }
+  AnovaResult anova;
+  ASSERT_TWRS_OK(FitAnova(obs, {3}, {{{0}}}, &anova));
+  TukeyResult tukey;
+  ASSERT_TWRS_OK(
+      TukeyHSD(obs, 0, 3, anova.ms_error, anova.df_error, &tukey));
+  EXPECT_LT(tukey.p_values[0][1], 0.001);
+  EXPECT_LT(tukey.p_values[0][2], 0.001);
+  EXPECT_LT(tukey.p_values[1][2], 0.001);
+  EXPECT_DOUBLE_EQ(tukey.p_values[0][0], 1.0);
+  // The matrix is symmetric.
+  EXPECT_DOUBLE_EQ(tukey.p_values[0][1], tukey.p_values[1][0]);
+  // Level 0 minimizes the response, and only level 0.
+  EXPECT_EQ(tukey.BestLevels(), std::vector<int>({0}));
+}
+
+TEST(TukeyTest, IndistinguishableLevelsAreNotSignificant) {
+  std::vector<Observation> obs;
+  for (int r = 0; r < 6; ++r) {
+    const double noise = (r % 2 == 0 ? 1.0 : -1.0) * (1.0 + 0.3 * r);
+    obs.push_back(Obs(0, 10.0 + noise));
+    obs.push_back(Obs(1, 10.1 - noise));
+    obs.push_back(Obs(2, 40.0 + noise));
+  }
+  AnovaResult anova;
+  ASSERT_TWRS_OK(FitAnova(obs, {3}, {{{0}}}, &anova));
+  TukeyResult tukey;
+  ASSERT_TWRS_OK(
+      TukeyHSD(obs, 0, 3, anova.ms_error, anova.df_error, &tukey));
+  EXPECT_GT(tukey.p_values[0][1], 0.05);  // 0 and 1 indistinguishable
+  EXPECT_LT(tukey.p_values[0][2], 0.05);  // both differ from 2
+  // Both near-minimal levels are reported best.
+  EXPECT_EQ(tukey.BestLevels(), std::vector<int>({0, 1}));
+}
+
+TEST(TukeyTest, DeterministicResponsesUseExactComparison) {
+  std::vector<Observation> obs = {Obs(0, 1), Obs(0, 1), Obs(1, 1),
+                                  Obs(1, 1), Obs(2, 2), Obs(2, 2)};
+  TukeyResult tukey;
+  ASSERT_TWRS_OK(TukeyHSD(obs, 0, 3, /*ms_error=*/0.0, /*df_error=*/0.0,
+                          &tukey));
+  EXPECT_DOUBLE_EQ(tukey.p_values[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(tukey.p_values[0][2], 0.0);
+}
+
+TEST(TukeyTest, UnequalGroupSizesAreHandled) {
+  std::vector<Observation> obs;
+  for (int r = 0; r < 3; ++r) obs.push_back(Obs(0, 1.0 + r * 0.01));
+  for (int r = 0; r < 9; ++r) obs.push_back(Obs(1, 30.0 + r * 0.01));
+  AnovaResult anova;
+  ASSERT_TWRS_OK(FitAnova(obs, {2}, {{{0}}}, &anova));
+  TukeyResult tukey;
+  ASSERT_TWRS_OK(
+      TukeyHSD(obs, 0, 2, anova.ms_error, anova.df_error, &tukey));
+  EXPECT_LT(tukey.p_values[0][1], 0.01);
+  EXPECT_EQ(tukey.level_counts[0], 3u);
+  EXPECT_EQ(tukey.level_counts[1], 9u);
+}
+
+TEST(TukeyTest, RejectsInvalidInput) {
+  TukeyResult tukey;
+  EXPECT_TRUE(TukeyHSD({}, 0, 1, 1.0, 10, &tukey).IsInvalidArgument());
+  std::vector<Observation> obs = {Obs(0, 1)};
+  EXPECT_TRUE(TukeyHSD(obs, 0, 2, 1.0, 10, &tukey)
+                  .IsInvalidArgument());  // level 1 empty
+}
+
+}  // namespace
+}  // namespace twrs

@@ -1,0 +1,161 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "io/mem_env.h"
+#include "tests/test_util.h"
+
+namespace twrs {
+namespace {
+
+using testing::Drain;
+
+WorkloadOptions Base(uint64_t n, bool noise = true) {
+  WorkloadOptions wl;
+  wl.num_records = n;
+  wl.seed = 1;
+  wl.add_noise = noise;
+  return wl;
+}
+
+TEST(WorkloadTest, DatasetNames) {
+  EXPECT_STREQ(DatasetName(Dataset::kSorted), "sorted");
+  EXPECT_STREQ(DatasetName(Dataset::kReverseSorted), "reverse-sorted");
+  EXPECT_STREQ(DatasetName(Dataset::kAlternating), "alternating");
+  EXPECT_STREQ(DatasetName(Dataset::kRandom), "random");
+  EXPECT_STREQ(DatasetName(Dataset::kMixed), "mixed");
+  EXPECT_STREQ(DatasetName(Dataset::kMixedImbalanced), "mixed-imbalanced");
+}
+
+TEST(WorkloadTest, AllDatasetsProduceExactCount) {
+  for (int d = 0; d < kNumDatasets; ++d) {
+    auto source = MakeWorkload(static_cast<Dataset>(d), Base(1234));
+    EXPECT_EQ(Drain(source.get()).size(), 1234u) << "dataset " << d;
+  }
+}
+
+TEST(WorkloadTest, SortedIsSortedEvenWithNoise) {
+  // Base keys step by 1000 while noise is at most 1000, so the trend holds.
+  auto keys = Drain(MakeWorkload(Dataset::kSorted, Base(5000)).get());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(WorkloadTest, ReverseSortedIsDescending) {
+  auto keys = Drain(MakeWorkload(Dataset::kReverseSorted, Base(5000)).get());
+  EXPECT_TRUE(std::is_sorted(keys.rbegin(), keys.rend()));
+}
+
+TEST(WorkloadTest, NoiseIsBounded) {
+  auto clean = Drain(MakeWorkload(Dataset::kSorted, Base(1000, false)).get());
+  auto noisy = Drain(MakeWorkload(Dataset::kSorted, Base(1000, true)).get());
+  ASSERT_EQ(clean.size(), noisy.size());
+  for (size_t i = 0; i < clean.size(); ++i) {
+    const Key delta = noisy[i] - clean[i];
+    EXPECT_GE(delta, 1);     // §5.2: noise in [1, 1000]
+    EXPECT_LE(delta, 1000);
+  }
+}
+
+TEST(WorkloadTest, SameSeedReproducesStream) {
+  auto a = Drain(MakeWorkload(Dataset::kRandom, Base(2000)).get());
+  auto b = Drain(MakeWorkload(Dataset::kRandom, Base(2000)).get());
+  EXPECT_EQ(a, b);
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadOptions w1 = Base(2000);
+  WorkloadOptions w2 = Base(2000);
+  w2.seed = 2;
+  auto a = Drain(MakeWorkload(Dataset::kRandom, w1).get());
+  auto b = Drain(MakeWorkload(Dataset::kRandom, w2).get());
+  EXPECT_NE(a, b);
+}
+
+TEST(WorkloadTest, AlternatingHasRequestedSections) {
+  WorkloadOptions wl = Base(10000, /*noise=*/false);
+  wl.sections = 10;
+  auto keys = Drain(MakeWorkload(Dataset::kAlternating, wl).get());
+  // Count direction changes; 10 sections have 9 boundaries.
+  int direction_changes = 0;
+  int direction = 0;
+  for (size_t i = 1; i < keys.size(); ++i) {
+    const int d = keys[i] > keys[i - 1] ? 1 : (keys[i] < keys[i - 1] ? -1 : 0);
+    if (d != 0 && direction != 0 && d != direction) ++direction_changes;
+    if (d != 0) direction = d;
+  }
+  EXPECT_EQ(direction_changes, 9);
+}
+
+TEST(WorkloadTest, AlternatingSpansFullRange) {
+  WorkloadOptions wl = Base(10000, /*noise=*/false);
+  wl.sections = 4;
+  auto keys = Drain(MakeWorkload(Dataset::kAlternating, wl).get());
+  const auto [min_it, max_it] = std::minmax_element(keys.begin(), keys.end());
+  EXPECT_EQ(*min_it, 0);
+  EXPECT_EQ(*max_it, static_cast<Key>((wl.num_records - 1) * 1000));
+}
+
+TEST(WorkloadTest, MixedTrendsDiverge) {
+  // Even records rise from the split point, odd records fall from it
+  // (§4.5's shape). Check monotonicity of each interleaved branch.
+  WorkloadOptions wl = Base(4000, /*noise=*/false);
+  auto keys = Drain(MakeWorkload(Dataset::kMixed, wl).get());
+  std::vector<Key> up;
+  std::vector<Key> down;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (i % 2 == 0 ? up : down).push_back(keys[i]);
+  }
+  EXPECT_TRUE(std::is_sorted(up.begin(), up.end()));
+  EXPECT_TRUE(std::is_sorted(down.rbegin(), down.rend()));
+  EXPECT_GT(up.front(), down.back());  // branches never cross
+}
+
+TEST(WorkloadTest, MixedImbalancedIsOneUpThreeDown) {
+  WorkloadOptions wl = Base(4000, /*noise=*/false);
+  auto keys = Drain(MakeWorkload(Dataset::kMixedImbalanced, wl).get());
+  std::vector<Key> up;
+  std::vector<Key> down;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (i % 4 == 0 ? up : down).push_back(keys[i]);
+  }
+  EXPECT_TRUE(std::is_sorted(up.begin(), up.end()));
+  EXPECT_TRUE(std::is_sorted(down.rbegin(), down.rend()));
+  EXPECT_EQ(down.size(), 3 * up.size());
+}
+
+TEST(WorkloadTest, RandomCoversRangeUniformly) {
+  WorkloadOptions wl = Base(20000);
+  auto keys = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+  const Key range = 20000 * 1000;
+  int low_half = 0;
+  for (Key k : keys) {
+    EXPECT_GE(k, 0);
+    EXPECT_LE(k, range + 1000);
+    if (k < range / 2) ++low_half;
+  }
+  EXPECT_NEAR(low_half, 10000, 500);
+}
+
+TEST(WorkloadTest, FileRoundTrip) {
+  MemEnv env;
+  WorkloadOptions wl = Base(500);
+  ASSERT_TWRS_OK(WriteWorkloadToFile(&env, Dataset::kMixed, wl, "data"));
+  FileRecordSource source(&env, "data");
+  auto from_file = Drain(&source);
+  ASSERT_TWRS_OK(source.status());
+  auto direct = Drain(MakeWorkload(Dataset::kMixed, wl).get());
+  EXPECT_EQ(from_file, direct);
+}
+
+TEST(WorkloadTest, FileSourceMissingFile) {
+  MemEnv env;
+  FileRecordSource source(&env, "missing");
+  Key k;
+  EXPECT_FALSE(source.Next(&k));
+  EXPECT_FALSE(source.status().ok());
+}
+
+}  // namespace
+}  // namespace twrs
