@@ -10,7 +10,6 @@
 #include <string>
 #include <vector>
 
-#include "core/load_sort_store.h"
 #include "core/replacement_selection.h"
 #include "core/run_sink.h"
 #include "core/two_way_replacement_selection.h"
@@ -145,25 +144,8 @@ inline TimedSort RunTimedSort(const TimedSortSpec& spec) {
     FileRunSink sink(&gen_env, spec.scratch_dir + "/tmp", "gen_only");
     CheckOk(gen_env.CreateDirIfMissing(spec.scratch_dir + "/tmp"),
             "mkdir tmp");
-    std::unique_ptr<RunGenerator> generator;
-    switch (spec.algorithm) {
-      case RunGenAlgorithm::kReplacementSelection: {
-        ReplacementSelectionOptions rs;
-        rs.memory_records = spec.memory;
-        generator = std::make_unique<ReplacementSelection>(rs);
-        break;
-      }
-      case RunGenAlgorithm::kTwoWayReplacementSelection:
-        generator = std::make_unique<TwoWayReplacementSelection>(
-            TwoWayOptions::Recommended(spec.memory, spec.seed));
-        break;
-      case RunGenAlgorithm::kLoadSortStore: {
-        LoadSortStoreOptions lss;
-        lss.memory_records = spec.memory;
-        generator = std::make_unique<LoadSortStore>(lss);
-        break;
-      }
-    }
+    std::unique_ptr<RunGenerator> generator =
+        MakeRunGenerator(spec.algorithm, spec.memory, options.twrs);
     CheckOk(generator->Generate(&gen_source, &sink, nullptr), "gen replay");
     timed.sim_run_gen_seconds = gen_env.model().SimulatedSeconds();
     for (const RunInfo& run : sink.runs()) {

@@ -59,7 +59,7 @@ class Engine {
         TWRS_RETURN_IF_ERROR(StartNextRun());
         continue;
       }
-      StepResult result;
+      StepResult result = StepResult::kDiverted;
       TWRS_RETURN_IF_ERROR(OutputOne(&result));
       if (!swept_this_run_ && DivisionEstablished()) {
         // The run's output division just formed: relocate every record the

@@ -34,7 +34,9 @@ class MemSequentialFile : public SequentialFile {
   Status Read(void* out, size_t n, size_t* bytes_read) override {
     size_t avail = data_->size() - pos_;
     size_t take = std::min(n, avail);
-    std::memcpy(out, data_->data() + pos_, take);
+    // An empty vector's data() may be null, and memcpy requires non-null
+    // arguments even for zero-length copies.
+    if (take > 0) std::memcpy(out, data_->data() + pos_, take);
     pos_ += take;
     *bytes_read = take;
     return Status::OK();
@@ -57,7 +59,7 @@ class MemRandomRWFile : public RandomRWFile {
 
   Status WriteAt(uint64_t offset, const void* data, size_t n) override {
     if (offset + n > data_->size()) data_->resize(offset + n, 0);
-    std::memcpy(data_->data() + offset, data, n);
+    if (n > 0) std::memcpy(data_->data() + offset, data, n);
     return Status::OK();
   }
 
@@ -65,7 +67,7 @@ class MemRandomRWFile : public RandomRWFile {
     if (offset + n > data_->size()) {
       return Status::IOError("short read in mem file");
     }
-    std::memcpy(out, data_->data() + offset, n);
+    if (n > 0) std::memcpy(out, data_->data() + offset, n);
     return Status::OK();
   }
 

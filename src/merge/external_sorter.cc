@@ -27,6 +27,36 @@ const char* RunGenAlgorithmName(RunGenAlgorithm algorithm) {
   return "?";
 }
 
+std::unique_ptr<RunGenerator> MakeRunGenerator(RunGenAlgorithm algorithm,
+                                               size_t memory_records,
+                                               const TwoWayOptions& twrs) {
+  switch (algorithm) {
+    case RunGenAlgorithm::kReplacementSelection: {
+      ReplacementSelectionOptions rs;
+      rs.memory_records = memory_records;
+      return std::make_unique<ReplacementSelection>(rs);
+    }
+    case RunGenAlgorithm::kTwoWayReplacementSelection: {
+      TwoWayOptions options = twrs;
+      options.memory_records = memory_records;
+      return std::make_unique<TwoWayReplacementSelection>(options);
+    }
+    case RunGenAlgorithm::kLoadSortStore: {
+      LoadSortStoreOptions lss;
+      lss.memory_records = memory_records;
+      return std::make_unique<LoadSortStore>(lss);
+    }
+    case RunGenAlgorithm::kBatchedReplacementSelection: {
+      BatchedReplacementSelectionOptions brs;
+      brs.memory_records = memory_records;
+      brs.batch_records =
+          std::min<size_t>(1024, std::max<size_t>(1, memory_records / 8));
+      return std::make_unique<BatchedReplacementSelection>(brs);
+    }
+  }
+  return nullptr;
+}
+
 ExternalSorter::ExternalSorter(Env* env, ExternalSortOptions options)
     : env_(env), options_(std::move(options)) {}
 
@@ -37,35 +67,8 @@ Status ExternalSorter::Sort(RecordSource* source,
   TWRS_RETURN_IF_ERROR(env_->CreateDirIfMissing(options_.temp_dir));
   const std::string prefix = "sort" + std::to_string(sort_counter_++);
 
-  std::unique_ptr<RunGenerator> generator;
-  switch (options_.algorithm) {
-    case RunGenAlgorithm::kReplacementSelection: {
-      ReplacementSelectionOptions rs;
-      rs.memory_records = options_.memory_records;
-      generator = std::make_unique<ReplacementSelection>(rs);
-      break;
-    }
-    case RunGenAlgorithm::kTwoWayReplacementSelection: {
-      TwoWayOptions twrs = options_.twrs;
-      twrs.memory_records = options_.memory_records;
-      generator = std::make_unique<TwoWayReplacementSelection>(twrs);
-      break;
-    }
-    case RunGenAlgorithm::kLoadSortStore: {
-      LoadSortStoreOptions lss;
-      lss.memory_records = options_.memory_records;
-      generator = std::make_unique<LoadSortStore>(lss);
-      break;
-    }
-    case RunGenAlgorithm::kBatchedReplacementSelection: {
-      BatchedReplacementSelectionOptions brs;
-      brs.memory_records = options_.memory_records;
-      brs.batch_records =
-          std::min<size_t>(1024, std::max<size_t>(1, options_.memory_records / 8));
-      generator = std::make_unique<BatchedReplacementSelection>(brs);
-      break;
-    }
-  }
+  std::unique_ptr<RunGenerator> generator = MakeRunGenerator(
+      options_.algorithm, options_.memory_records, options_.twrs);
 
   FileRunSinkOptions sink_options;
   sink_options.block_bytes = options_.block_bytes;

@@ -2,9 +2,11 @@
 #define TWRS_MERGE_EXTERNAL_SORTER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/record_source.h"
+#include "core/run_generator.h"
 #include "core/run_stats.h"
 #include "core/two_way_replacement_selection.h"
 #include "io/env.h"
@@ -23,6 +25,15 @@ enum class RunGenAlgorithm {
 };
 
 const char* RunGenAlgorithmName(RunGenAlgorithm algorithm);
+
+/// Builds the run generator for `algorithm` with a `memory_records` budget.
+/// The single construction point shared by ExternalSorter and the benchmark
+/// harness, so replayed run generation measures the same configuration the
+/// sorter used. `twrs` tuning applies to 2WRS only; its memory field is
+/// overridden by `memory_records`.
+std::unique_ptr<RunGenerator> MakeRunGenerator(RunGenAlgorithm algorithm,
+                                               size_t memory_records,
+                                               const TwoWayOptions& twrs = {});
 
 /// Configuration of a complete external sort.
 struct ExternalSortOptions {
