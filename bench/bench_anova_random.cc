@@ -55,7 +55,9 @@ void Run() {
 }  // namespace bench
 }  // namespace twrs
 
-int main() {
+int main(int argc, char** argv) {
+  twrs::bench::ParseBenchArgs(argc, argv);
   twrs::bench::Run();
+  twrs::bench::JsonReporter::Global().Flush();
   return 0;
 }

@@ -5,8 +5,10 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,121 @@ inline double Scale() {
 
 inline uint64_t Scaled(uint64_t n) {
   return static_cast<uint64_t>(static_cast<double>(n) * Scale());
+}
+
+/// One result row of the machine-readable --json report: an ordered set of
+/// key/value fields serialized as a JSON object.
+class JsonEntry {
+ public:
+  JsonEntry& Str(const std::string& key, const std::string& value) {
+    return Field(key, "\"" + Escaped(value) + "\"");
+  }
+
+  JsonEntry& Num(const std::string& key, double value) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.9g", value);
+    return Field(key, buf);
+  }
+
+  JsonEntry& Int(const std::string& key, uint64_t value) {
+    return Field(key, std::to_string(value));
+  }
+
+  /// The entry rendered as a JSON object.
+  std::string Render() const { return "{" + body_ + "}"; }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  JsonEntry& Field(const std::string& key, const std::string& json_value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + Escaped(key) + "\": " + json_value;
+    return *this;
+  }
+
+  std::string body_;
+};
+
+/// Collects JsonEntry rows and writes them as one JSON document, so
+/// benchmark runs leave a machine-readable perf trajectory next to the
+/// human-readable tables (e.g. `bench_fig6_6 --json BENCH_fig6_6.json`).
+/// Thread-safe; a process-wide instance is reached through Global().
+class JsonReporter {
+ public:
+  static JsonReporter& Global() {
+    static JsonReporter reporter;
+    return reporter;
+  }
+
+  /// Enables reporting; without a path Add/Flush are no-ops.
+  void SetPath(std::string path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    path_ = std::move(path);
+  }
+
+  /// Name recorded at the top of the report (the benchmark binary's name).
+  void SetName(std::string name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    name_ = std::move(name);
+  }
+
+  void Add(const JsonEntry& entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (path_.empty()) return;
+    entries_.push_back(entry.Render());
+  }
+
+  /// Writes `{"bench": <name>, "scale": <s>, "results": [...]}` to the
+  /// configured path. No-op when --json was not given.
+  void Flush();
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+  std::string name_ = "bench";
+  std::vector<std::string> entries_;
+};
+
+/// Parses the flags shared by every standalone benchmark driver (currently
+/// `--json <path>`) and seeds the global reporter with the binary's name.
+inline void ParseBenchArgs(int argc, char** argv) {
+  if (argc > 0) {
+    std::string name = argv[0];
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    JsonReporter::Global().SetName(name);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      JsonReporter::Global().SetPath(argv[++i]);
+    }
+  }
+}
+
+inline void JsonReporter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) return;
+  std::ofstream out(path_);
+  if (!out) {
+    fprintf(stderr, "WARNING: cannot write JSON report to %s\n",
+            path_.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"" << name_ << "\",\n  \"scale\": " << Scale()
+      << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out << "    " << entries_[i] << (i + 1 < entries_.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  printf("JSON report: %s (%zu entries)\n", path_.c_str(), entries_.size());
 }
 
 /// Aborts the benchmark on unexpected errors (benchmarks have no caller to
@@ -105,11 +222,22 @@ struct TimedSortSpec {
   uint64_t sections = 50;
   uint64_t seed = 1;
   std::string scratch_dir;
+
+  /// Pipelined execution knobs (all off = serial reference path).
+  ParallelOptions parallel;
+
+  /// Simulated disk parameters. With `disk.realtime` the sort pays the
+  /// simulated I/O time in real sleeps, so wall-clock numbers expose how
+  /// much of it the pipelined path hides.
+  DiskModelConfig disk;
+
+  /// Optional row label in the JSON report.
+  std::string label;
 };
 
 inline TimedSort RunTimedSort(const TimedSortSpec& spec) {
   PosixEnv posix;
-  SimDiskEnv env(&posix);
+  SimDiskEnv env(&posix, spec.disk);
 
   WorkloadOptions workload;
   workload.num_records = spec.records;
@@ -125,6 +253,7 @@ inline TimedSort RunTimedSort(const TimedSortSpec& spec) {
   options.twrs = TwoWayOptions::Recommended(spec.memory, spec.seed);
   options.fan_in = spec.fan_in;
   options.temp_dir = spec.scratch_dir + "/tmp";
+  options.parallel = spec.parallel;
   ExternalSorter sorter(&env, options);
 
   FileRecordSource source(&env, input_path);
@@ -137,9 +266,12 @@ inline TimedSort RunTimedSort(const TimedSortSpec& spec) {
   timed.run_gen_seconds = result.run_gen_seconds;
   timed.total_seconds = result.total_seconds;
   timed.sim_total_seconds = env.model().SimulatedSeconds();
-  // Simulated run-generation time: replay only the run generation phase.
+  // Simulated run-generation time: replay only the run generation phase
+  // (accounting only — no real-time sleeps on the replay).
   {
-    SimDiskEnv gen_env(&posix);
+    DiskModelConfig replay_disk = spec.disk;
+    replay_disk.realtime = false;
+    SimDiskEnv gen_env(&posix, replay_disk);
     FileRecordSource gen_source(&gen_env, input_path);
     FileRunSink sink(&gen_env, spec.scratch_dir + "/tmp", "gen_only");
     CheckOk(gen_env.CreateDirIfMissing(spec.scratch_dir + "/tmp"),
@@ -155,6 +287,28 @@ inline TimedSort RunTimedSort(const TimedSortSpec& spec) {
   timed.merge_steps = result.merge.merge_steps;
   CheckOk(posix.RemoveFile(input_path), "cleanup input");
   CheckOk(posix.RemoveFile(spec.scratch_dir + "/out"), "cleanup out");
+
+  JsonEntry entry;
+  if (!spec.label.empty()) entry.Str("label", spec.label);
+  entry.Str("algorithm", RunGenAlgorithmName(spec.algorithm))
+      .Str("dataset", DatasetName(spec.dataset))
+      .Int("records", spec.records)
+      .Int("memory_records", spec.memory)
+      .Int("fan_in", spec.fan_in)
+      .Int("sections", spec.sections)
+      .Int("seed", spec.seed)
+      .Int("worker_threads", spec.parallel.worker_threads)
+      .Int("num_runs", timed.num_runs)
+      .Int("merge_steps", timed.merge_steps)
+      .Num("run_gen_seconds", timed.run_gen_seconds)
+      .Num("total_seconds", timed.total_seconds)
+      .Num("sim_run_gen_seconds", timed.sim_run_gen_seconds)
+      .Num("sim_total_seconds", timed.sim_total_seconds)
+      .Num("records_per_second",
+           timed.total_seconds > 0
+               ? static_cast<double>(spec.records) / timed.total_seconds
+               : 0.0);
+  JsonReporter::Global().Add(entry);
   return timed;
 }
 

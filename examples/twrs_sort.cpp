@@ -12,12 +12,17 @@
 //   --buffers FRACTION                2WRS buffer fraction (default 0.02)
 //   --input-heuristic NAME            random|alternate|mean|median|useful|balancing
 //   --output-heuristic NAME           random|alternate|useful|balancing|mindistance
+//   --threads N                       worker threads for the pipelined path
+//                                     (0 = serial, default)
+//   --prefetch N                      read-ahead blocks per merge input
 //   --verify                          check the output after sorting
 //   --generate DATASET                write a workload instead of sorting:
 //                                     sorted|reverse|alternating|random|mixed|imbalanced
 //   --records N                       records for --generate (default 1M)
 //   --seed N                          workload seed (default 1)
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +40,21 @@ int Usage() {
           "       twrs_sort --generate <dataset> --records N <output>\n"
           "run `head -30 examples/twrs_sort.cpp` for the option list\n");
   return 2;
+}
+
+/// Strict non-negative integer parse: rejects signs, trailing junk and
+/// overflow instead of wrapping (strtoull happily parses "-1" to 2^64-1,
+/// which then e.g. makes ThreadPool try to reserve 2^64-1 workers).
+bool ParseCount(const char* v, uint64_t* out) {
+  if (v == nullptr || *v == '\0') return false;
+  for (const char* p = v; *p != '\0'; ++p) {
+    if (!isdigit(static_cast<unsigned char>(*p))) return false;
+  }
+  errno = 0;
+  const unsigned long long parsed = strtoull(v, nullptr, 10);
+  if (errno == ERANGE) return false;
+  *out = parsed;
+  return true;
 }
 
 bool ParseAlgorithm(const std::string& name, twrs::RunGenAlgorithm* out) {
@@ -125,13 +145,13 @@ int main(int argc, char** argv) {
         return Usage();
       }
     } else if (arg == "--memory") {
-      const char* v = next();
-      if (v == nullptr) return Usage();
-      options.memory_records = strtoull(v, nullptr, 10);
+      uint64_t v = 0;
+      if (!ParseCount(next(), &v)) return Usage();
+      options.memory_records = v;
     } else if (arg == "--fan-in") {
-      const char* v = next();
-      if (v == nullptr) return Usage();
-      options.fan_in = strtoull(v, nullptr, 10);
+      uint64_t v = 0;
+      if (!ParseCount(next(), &v)) return Usage();
+      options.fan_in = v;
     } else if (arg == "--temp-dir") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -152,6 +172,14 @@ int main(int argc, char** argv) {
           !ParseOutputHeuristic(v, &twrs_options.output_heuristic)) {
         return Usage();
       }
+    } else if (arg == "--threads") {
+      uint64_t v = 0;
+      if (!ParseCount(next(), &v) || v > 1024) return Usage();
+      options.parallel.worker_threads = v;
+    } else if (arg == "--prefetch") {
+      uint64_t v = 0;
+      if (!ParseCount(next(), &v) || v > 1024) return Usage();
+      options.parallel.prefetch_blocks = v;
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--generate") {
@@ -159,13 +187,9 @@ int main(int argc, char** argv) {
       if (v == nullptr || !ParseDataset(v, &dataset)) return Usage();
       generate = true;
     } else if (arg == "--records") {
-      const char* v = next();
-      if (v == nullptr) return Usage();
-      records = strtoull(v, nullptr, 10);
+      if (!ParseCount(next(), &records)) return Usage();
     } else if (arg == "--seed") {
-      const char* v = next();
-      if (v == nullptr) return Usage();
-      seed = strtoull(v, nullptr, 10);
+      if (!ParseCount(next(), &seed)) return Usage();
     } else if (!arg.empty() && arg[0] == '-') {
       fprintf(stderr, "unknown option %s\n", arg.c_str());
       return Usage();

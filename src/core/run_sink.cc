@@ -149,9 +149,9 @@ Status FileRunSink::Append(RunStream stream, Key key) {
   }
   auto& writer = forward_[stream];
   if (writer == nullptr) {
-    writer = std::make_unique<RecordWriter>(
-        env_, StreamPath(run_index_, stream), options_.block_bytes);
-    TWRS_RETURN_IF_ERROR(writer->status());
+    TWRS_RETURN_IF_ERROR(MakeAsyncRecordWriter(
+        env_, StreamPath(run_index_, stream), options_.block_bytes,
+        options_.pool, options_.async_buffer_bytes, &writer));
   }
   return writer->Append(key);
 }

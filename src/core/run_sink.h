@@ -8,6 +8,7 @@
 
 #include "core/record.h"
 #include "core/run_stats.h"
+#include "exec/async_io.h"
 #include "io/env.h"
 #include "io/record_io.h"
 #include "io/reverse_run_file.h"
@@ -106,6 +107,15 @@ class CollectingRunSink : public RunSink {
 struct FileRunSinkOptions {
   size_t block_bytes = kDefaultBlockBytes;
   ReverseRunFileOptions reverse;
+
+  /// When non-null, forward streams write through a double-buffered
+  /// AsyncWritableFile flushed on this pool, overlapping heap work with run
+  /// output I/O. Decreasing streams use the positioned reverse-file format
+  /// and stay synchronous. The pool must outlive the sink.
+  ThreadPool* pool = nullptr;
+
+  /// Size of each half of the async double buffer.
+  size_t async_buffer_bytes = kDefaultAsyncBufferBytes;
 };
 
 /// Writes runs to files under `dir` with the given name prefix. Forward

@@ -1,0 +1,98 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace twrs {
+
+void TaskHandle::RunIfUnclaimed(const std::shared_ptr<State>& state) {
+  std::function<Status()> fn;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->phase != State::kQueued) return;
+    state->phase = State::kRunning;
+    fn = std::move(state->fn);
+    state->fn = nullptr;
+  }
+  Status result = fn();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::move(result);
+    state->phase = State::kDone;
+  }
+  state->cv.notify_all();
+}
+
+Status TaskHandle::Wait() {
+  if (state_ == nullptr) return Status::OK();
+  RunIfUnclaimed(state_);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->phase == State::kDone; });
+  return state_->result;
+}
+
+bool TaskHandle::done() const {
+  if (state_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->phase == State::kDone;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+TaskHandle ThreadPool::Submit(std::function<Status()> fn,
+                              TaskPriority priority) {
+  auto state = std::make_shared<TaskHandle::State>();
+  state->fn = std::move(fn);
+  bool queued = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      (priority == TaskPriority::kHigh ? high_queue_ : queue_)
+          .push_back(state);
+      queued = true;
+    }
+  }
+  if (queued) {
+    cv_.notify_one();
+  } else {
+    // A pool that is shutting down no longer accepts queue entries; run the
+    // task on the caller so the handle still completes.
+    TaskHandle::RunIfUnclaimed(state);
+  }
+  return TaskHandle(state);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<TaskHandle::State> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || !high_queue_.empty();
+      });
+      std::deque<std::shared_ptr<TaskHandle::State>>& source =
+          !high_queue_.empty() ? high_queue_ : queue_;
+      if (source.empty()) return;  // stopping_ and nothing left to run
+      task = std::move(source.front());
+      source.pop_front();
+    }
+    TaskHandle::RunIfUnclaimed(task);
+  }
+}
+
+}  // namespace twrs

@@ -1,0 +1,97 @@
+#ifndef TWRS_EXEC_THREAD_POOL_H_
+#define TWRS_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace twrs {
+
+class ThreadPool;
+
+/// Future-style handle to a task submitted to a ThreadPool. Wait() is
+/// work-helping: if the task is still queued and no worker has claimed it,
+/// the waiting thread runs it inline. This makes nested waits safe — a task
+/// running on the pool may submit sub-tasks and wait on them without risking
+/// deadlock when every worker is busy.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the task has run (possibly running it on this thread) and
+  /// returns its Status. Waiting on an invalid handle returns OK. Idempotent.
+  Status Wait();
+
+  /// True once the task has finished (non-blocking probe).
+  bool done() const;
+
+ private:
+  friend class ThreadPool;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    enum Phase { kQueued, kRunning, kDone } phase = kQueued;
+    std::function<Status()> fn;
+    Status result;
+  };
+
+  explicit TaskHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  /// Runs `state`'s function if nobody claimed it yet (worker and helper
+  /// entry point).
+  static void RunIfUnclaimed(const std::shared_ptr<State>& state);
+
+  std::shared_ptr<State> state_;
+};
+
+/// Scheduling class for ThreadPool::Submit. High-priority tasks are short,
+/// latency-sensitive work (e.g. AsyncWritableFile buffer flushes) that must
+/// not queue behind a level of long-running normal tasks, or the producers
+/// waiting on them degrade to inline execution.
+enum class TaskPriority { kNormal, kHigh };
+
+/// Fixed-size pool of worker threads executing Status-returning tasks in
+/// submission order within each priority class (high before normal). The
+/// destructor completes every submitted task before returning, so a pool
+/// can be stack-allocated around a batch of work.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queues, waits for running tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a waitable handle to its completion.
+  TaskHandle Submit(std::function<Status()> fn,
+                    TaskPriority priority = TaskPriority::kNormal);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<TaskHandle::State>> queue_;
+  std::deque<std::shared_ptr<TaskHandle::State>> high_queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_EXEC_THREAD_POOL_H_

@@ -83,6 +83,10 @@ class Env {
   /// Creates a directory (and parents) if missing; OK if it already exists.
   virtual Status CreateDirIfMissing(const std::string& path) = 0;
 
+  /// Removes `path` if it is an existing empty directory. Best-effort
+  /// cleanup helper: an absent or non-empty directory is OK, not an error.
+  virtual Status RemoveDir(const std::string& path) = 0;
+
   /// Returns the process-wide POSIX environment.
   static Env* Default();
 };

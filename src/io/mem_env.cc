@@ -82,13 +82,17 @@ class MemRandomRWFile : public RandomRWFile {
 Status MemEnv::NewWritableFile(const std::string& path,
                                std::unique_ptr<WritableFile>* out) {
   auto data = std::make_shared<Bytes>();
-  files_[path] = data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[path] = data;
+  }
   out->reset(new MemWritableFile(std::move(data)));
   return Status::OK();
 }
 
 Status MemEnv::NewSequentialFile(const std::string& path,
                                  std::unique_ptr<SequentialFile>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   out->reset(new MemSequentialFile(it->second));
@@ -98,13 +102,17 @@ Status MemEnv::NewSequentialFile(const std::string& path,
 Status MemEnv::NewRandomRWFile(const std::string& path,
                                std::unique_ptr<RandomRWFile>* out) {
   auto data = std::make_shared<Bytes>();
-  files_[path] = data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[path] = data;
+  }
   out->reset(new MemRandomRWFile(std::move(data)));
   return Status::OK();
 }
 
 Status MemEnv::ReopenRandomRWFile(const std::string& path,
                                   std::unique_ptr<RandomRWFile>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   out->reset(new MemRandomRWFile(it->second));
@@ -113,6 +121,7 @@ Status MemEnv::ReopenRandomRWFile(const std::string& path,
 
 Status MemEnv::NewRandomReadFile(const std::string& path,
                                  std::unique_ptr<RandomRWFile>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   out->reset(new MemRandomRWFile(it->second));
@@ -120,15 +129,18 @@ Status MemEnv::NewRandomReadFile(const std::string& path,
 }
 
 bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.count(path) > 0;
 }
 
 Status MemEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (files_.erase(path) == 0) return Status::NotFound(path);
   return Status::OK();
 }
 
 Status MemEnv::GetFileSize(const std::string& path, uint64_t* size) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   *size = it->second->size();
@@ -137,8 +149,14 @@ Status MemEnv::GetFileSize(const std::string& path, uint64_t* size) {
 
 Status MemEnv::CreateDirIfMissing(const std::string&) { return Status::OK(); }
 
+Status MemEnv::RemoveDir(const std::string&) {
+  // Directories are implicit in the path map, so there is nothing to remove.
+  return Status::OK();
+}
+
 const std::vector<uint8_t>* MemEnv::FileContents(
     const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   return it == files_.end() ? nullptr : it->second.get();
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,7 +13,10 @@
 namespace twrs {
 
 /// In-memory Env used by the test suite. Every file is a byte vector keyed by
-/// path; directories are implicit. Single-threaded, like the library.
+/// path; directories are implicit. The path map is mutex-protected so
+/// concurrent sorts and the exec subsystem's background I/O can share one
+/// MemEnv; as under POSIX, concurrent access to the *same* file is only safe
+/// for distinct open handles with a single writer.
 class MemEnv : public Env {
  public:
   MemEnv() = default;
@@ -31,14 +35,20 @@ class MemEnv : public Env {
   Status RemoveFile(const std::string& path) override;
   Status GetFileSize(const std::string& path, uint64_t* size) override;
   Status CreateDirIfMissing(const std::string& path) override;
+  Status RemoveDir(const std::string& path) override;
 
   /// Number of files currently stored (test helper).
-  size_t FileCount() const { return files_.size(); }
+  size_t FileCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.size();
+  }
 
-  /// Direct access to a file's bytes (test helper); null if absent.
+  /// Direct access to a file's bytes (test helper); null if absent. Only
+  /// safe while no writer has the file open.
   const std::vector<uint8_t>* FileContents(const std::string& path) const;
 
  private:
+  mutable std::mutex mu_;
   // Shared so that open handles survive RemoveFile, as POSIX does.
   std::map<std::string, std::shared_ptr<std::vector<uint8_t>>> files_;
 };

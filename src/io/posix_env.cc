@@ -217,4 +217,16 @@ Status PosixEnv::CreateDirIfMissing(const std::string& path) {
   return Status::OK();
 }
 
+Status PosixEnv::RemoveDir(const std::string& path) {
+  if (::rmdir(path.c_str()) != 0) {
+    // Best-effort semantics: a directory that is already gone or still has
+    // entries (e.g. keep_temp_files leftovers from another sort) is fine.
+    if (errno == ENOENT || errno == ENOTEMPTY || errno == EEXIST) {
+      return Status::OK();
+    }
+    return ErrnoStatus("rmdir " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace twrs

@@ -25,6 +25,7 @@ class PosixEnv : public Env {
   Status RemoveFile(const std::string& path) override;
   Status GetFileSize(const std::string& path, uint64_t* size) override;
   Status CreateDirIfMissing(const std::string& path) override;
+  Status RemoveDir(const std::string& path) override;
 };
 
 }  // namespace twrs

@@ -12,6 +12,16 @@ RecordWriter::RecordWriter(Env* env, const std::string& path,
   status_ = env->NewWritableFile(path, &file_);
 }
 
+RecordWriter::RecordWriter(std::unique_ptr<WritableFile> file,
+                           size_t block_bytes)
+    : file_(std::move(file)) {
+  size_t records_per_block = std::max<size_t>(1, block_bytes / kRecordBytes);
+  buffer_.resize(records_per_block * kRecordBytes);
+  if (file_ == nullptr) {
+    status_ = Status::InvalidArgument("RecordWriter requires a file");
+  }
+}
+
 RecordWriter::~RecordWriter() {
   if (!finished_ && file_ != nullptr) Finish();
 }
@@ -46,6 +56,16 @@ RecordReader::RecordReader(Env* env, const std::string& path,
   size_t records_per_block = std::max<size_t>(1, block_bytes / kRecordBytes);
   buffer_.resize(records_per_block * kRecordBytes);
   status_ = env->NewSequentialFile(path, &file_);
+}
+
+RecordReader::RecordReader(std::unique_ptr<SequentialFile> file,
+                           size_t block_bytes)
+    : file_(std::move(file)) {
+  size_t records_per_block = std::max<size_t>(1, block_bytes / kRecordBytes);
+  buffer_.resize(records_per_block * kRecordBytes);
+  if (file_ == nullptr) {
+    status_ = Status::InvalidArgument("RecordReader requires a file");
+  }
 }
 
 Status RecordReader::Next(Key* key, bool* eof) {

@@ -23,6 +23,11 @@ class RecordWriter {
   RecordWriter(Env* env, const std::string& path,
                size_t block_bytes = kDefaultBlockBytes);
 
+  /// Writes through an already-open handle (e.g. an AsyncWritableFile
+  /// wrapping the real file). Takes ownership of `file`.
+  explicit RecordWriter(std::unique_ptr<WritableFile> file,
+                        size_t block_bytes = kDefaultBlockBytes);
+
   ~RecordWriter();
 
   RecordWriter(const RecordWriter&) = delete;
@@ -55,6 +60,11 @@ class RecordReader {
   /// Opens `path`. Call status() to check.
   RecordReader(Env* env, const std::string& path,
                size_t block_bytes = kDefaultBlockBytes);
+
+  /// Reads through an already-open handle (e.g. a PrefetchingSequentialFile
+  /// wrapping the real file). Takes ownership of `file`.
+  explicit RecordReader(std::unique_ptr<SequentialFile> file,
+                        size_t block_bytes = kDefaultBlockBytes);
 
   RecordReader(const RecordReader&) = delete;
   RecordReader& operator=(const RecordReader&) = delete;

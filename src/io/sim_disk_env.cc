@@ -1,25 +1,44 @@
 #include "io/sim_disk_env.h"
 
+#include <chrono>
+#include <thread>
+
 namespace twrs {
 
 void DiskModel::Access(uint64_t file_id, uint64_t offset, uint64_t n) {
-  const bool forward_contiguous =
-      file_id == last_file_ && offset == last_end_offset_;
-  const bool backward_contiguous =
-      file_id == last_file_ && offset + n == last_start_offset_;
-  if (!forward_contiguous && !backward_contiguous) ++seeks_;
-  bytes_ += n;
-  last_file_ = file_id;
-  last_start_offset_ = offset;
-  last_end_offset_ = offset + n;
+  double access_seconds = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool forward_contiguous =
+        file_id == last_file_ && offset == last_end_offset_;
+    const bool backward_contiguous =
+        file_id == last_file_ && offset + n == last_start_offset_;
+    if (!forward_contiguous && !backward_contiguous) {
+      ++seeks_;
+      access_seconds += config_.seek_seconds;
+    }
+    bytes_ += n;
+    last_file_ = file_id;
+    last_start_offset_ = offset;
+    last_end_offset_ = offset + n;
+    access_seconds +=
+        static_cast<double>(n) / config_.bandwidth_bytes_per_second;
+  }
+  if (config_.realtime) {
+    // Sleep outside the lock so concurrent accesses emulate a device that
+    // overlaps with the CPU, not one serialized behind the accounting.
+    std::this_thread::sleep_for(std::chrono::duration<double>(access_seconds));
+  }
 }
 
 double DiskModel::SimulatedSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return static_cast<double>(seeks_) * config_.seek_seconds +
          static_cast<double>(bytes_) / config_.bandwidth_bytes_per_second;
 }
 
 void DiskModel::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   seeks_ = 0;
   bytes_ = 0;
   last_file_ = UINT64_MAX;
@@ -106,6 +125,7 @@ SimDiskEnv::SimDiskEnv(Env* base, DiskModelConfig config)
     : base_(base), model_(config) {}
 
 uint64_t SimDiskEnv::FileId(const std::string& path) {
+  std::lock_guard<std::mutex> lock(file_ids_mu_);
   auto [it, inserted] = file_ids_.emplace(path, next_file_id_);
   if (inserted) ++next_file_id_;
   return it->second;
@@ -165,6 +185,10 @@ Status SimDiskEnv::GetFileSize(const std::string& path, uint64_t* size) {
 
 Status SimDiskEnv::CreateDirIfMissing(const std::string& path) {
   return base_->CreateDirIfMissing(path);
+}
+
+Status SimDiskEnv::RemoveDir(const std::string& path) {
+  return base_->RemoveDir(path);
 }
 
 }  // namespace twrs

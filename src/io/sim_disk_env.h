@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -19,6 +20,14 @@ struct DiskModelConfig {
 
   /// Sequential transfer bandwidth.
   double bandwidth_bytes_per_second = 100.0 * 1024 * 1024;
+
+  /// When true, every access also sleeps its simulated duration in the
+  /// calling thread, turning the model into a real-time emulated device.
+  /// Accounting-only by default. Real-time mode makes wall-clock
+  /// measurements show I/O/CPU overlap: the pipelined sort path pays these
+  /// sleeps on background flush/prefetch/pool threads while the serial path
+  /// pays them inline.
+  bool realtime = false;
 };
 
 /// Accrues simulated I/O time for a sequence of accesses. An access is
@@ -26,7 +35,8 @@ struct DiskModelConfig {
 /// access on the same file ended, or when it ends exactly where the previous
 /// access began (backward-contiguous writes, which Appendix A.1 notes the
 /// operating system's write cache absorbs without synchronous seeks); any
-/// other access pays one seek.
+/// other access pays one seek. Thread-safe: the parallel sort path issues
+/// accesses from pool workers and background flushers concurrently.
 class DiskModel {
  public:
   explicit DiskModel(DiskModelConfig config = DiskModelConfig())
@@ -38,13 +48,20 @@ class DiskModel {
   /// Total simulated seconds so far.
   double SimulatedSeconds() const;
 
-  uint64_t seeks() const { return seeks_; }
-  uint64_t bytes_transferred() const { return bytes_; }
+  uint64_t seeks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seeks_;
+  }
+  uint64_t bytes_transferred() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
 
   void Reset();
 
  private:
   DiskModelConfig config_;
+  mutable std::mutex mu_;
   uint64_t seeks_ = 0;
   uint64_t bytes_ = 0;
   uint64_t last_file_ = UINT64_MAX;
@@ -75,6 +92,7 @@ class SimDiskEnv : public Env {
   Status RemoveFile(const std::string& path) override;
   Status GetFileSize(const std::string& path, uint64_t* size) override;
   Status CreateDirIfMissing(const std::string& path) override;
+  Status RemoveDir(const std::string& path) override;
 
   DiskModel& model() { return model_; }
   const DiskModel& model() const { return model_; }
@@ -84,6 +102,7 @@ class SimDiskEnv : public Env {
 
   Env* base_;
   DiskModel model_;
+  std::mutex file_ids_mu_;
   std::unordered_map<std::string, uint64_t> file_ids_;
   uint64_t next_file_id_ = 0;
 };

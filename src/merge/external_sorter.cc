@@ -1,6 +1,9 @@
 #include "merge/external_sorter.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <memory>
 
 #include "core/batched_replacement_selection.h"
@@ -57,6 +60,19 @@ std::unique_ptr<RunGenerator> MakeRunGenerator(RunGenAlgorithm algorithm,
   return nullptr;
 }
 
+namespace {
+
+/// A temp-subdirectory name no other sort will pick: the pid keeps separate
+/// processes sharing a default temp_dir (e.g. /tmp/twrs_sort) apart, the
+/// process-wide counter keeps concurrent sorts within one process apart.
+std::string UniqueSortDirName() {
+  static std::atomic<uint64_t> counter{0};
+  return "sort_" + std::to_string(static_cast<uint64_t>(::getpid())) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace
+
 ExternalSorter::ExternalSorter(Env* env, ExternalSortOptions options)
     : env_(env), options_(std::move(options)) {}
 
@@ -64,15 +80,22 @@ Status ExternalSorter::Sort(RecordSource* source,
                             const std::string& output_path,
                             ExternalSortResult* result) {
   ExternalSortResult local;
-  TWRS_RETURN_IF_ERROR(env_->CreateDirIfMissing(options_.temp_dir));
-  const std::string prefix = "sort" + std::to_string(sort_counter_++);
+  const std::string sort_dir =
+      options_.temp_dir + "/" + UniqueSortDirName();
+  TWRS_RETURN_IF_ERROR(env_->CreateDirIfMissing(sort_dir));
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.parallel.worker_threads > 0) {
+    pool = std::make_unique<ThreadPool>(options_.parallel.worker_threads);
+  }
 
   std::unique_ptr<RunGenerator> generator = MakeRunGenerator(
       options_.algorithm, options_.memory_records, options_.twrs);
 
   FileRunSinkOptions sink_options;
   sink_options.block_bytes = options_.block_bytes;
-  FileRunSink sink(env_, options_.temp_dir, prefix, sink_options);
+  sink_options.pool = pool.get();
+  FileRunSink sink(env_, sort_dir, "sort", sink_options);
 
   Stopwatch total_watch;
   Stopwatch phase_watch;
@@ -82,9 +105,17 @@ Status ExternalSorter::Sort(RecordSource* source,
   MergeOptions merge_options;
   merge_options.fan_in = options_.fan_in;
   merge_options.block_bytes = options_.block_bytes;
-  merge_options.temp_dir = options_.temp_dir;
-  merge_options.temp_prefix = prefix;
+  merge_options.temp_dir = sort_dir;
+  merge_options.temp_prefix = "sort";
   merge_options.remove_inputs = !options_.keep_temp_files;
+  merge_options.pool = pool.get();
+  // Prefetching runs on dedicated pump threads, so it is independent of
+  // the pool; only the pool-dispatched leaf merges require workers.
+  merge_options.prefetch_blocks = options_.parallel.prefetch_blocks;
+  if (pool != nullptr) {
+    merge_options.parallel_leaf_merges =
+        options_.parallel.parallel_leaf_merges;
+  }
 
   phase_watch.Reset();
   TWRS_RETURN_IF_ERROR(MergeRuns(env_, sink.runs(), merge_options,
@@ -92,6 +123,9 @@ Status ExternalSorter::Sort(RecordSource* source,
   local.merge_seconds = phase_watch.ElapsedSeconds();
   local.total_seconds = total_watch.ElapsedSeconds();
   local.output_records = local.run_gen.total_records;
+  if (!options_.keep_temp_files) {
+    TWRS_RETURN_IF_ERROR(env_->RemoveDir(sort_dir));
+  }
   if (result != nullptr) *result = local;
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 #include "core/run_generator.h"
 #include "core/run_stats.h"
 #include "core/two_way_replacement_selection.h"
+#include "exec/thread_pool.h"
 #include "io/env.h"
 #include "merge/merge_plan.h"
 #include "util/checksum.h"
@@ -35,6 +36,22 @@ std::unique_ptr<RunGenerator> MakeRunGenerator(RunGenAlgorithm algorithm,
                                                size_t memory_records,
                                                const TwoWayOptions& twrs = {});
 
+/// Concurrency knobs of the pipelined execution path (src/exec). With the
+/// defaults the sort is fully serial and behaves exactly as before.
+struct ParallelOptions {
+  /// Worker threads in the sort's ThreadPool; 0 disables the pool-based
+  /// features (async run flushing, parallel leaf merges).
+  size_t worker_threads = 0;
+
+  /// Read-ahead blocks kept in flight per merge input stream; 0 disables.
+  /// Prefetching uses a dedicated pump thread per open input, not the
+  /// pool, so it works with or without worker threads.
+  size_t prefetch_blocks = 0;
+
+  /// Dispatch independent same-level intermediate merges onto the pool.
+  bool parallel_leaf_merges = true;
+};
+
 /// Configuration of a complete external sort.
 struct ExternalSortOptions {
   RunGenAlgorithm algorithm = RunGenAlgorithm::kTwoWayReplacementSelection;
@@ -49,6 +66,8 @@ struct ExternalSortOptions {
   size_t fan_in = 10;
 
   /// Directory for runs and intermediate merge files (created if missing).
+  /// Every Sort call works inside a unique subdirectory of this, so
+  /// concurrent sorts — even from different processes — never collide.
   std::string temp_dir = "/tmp/twrs_sort";
 
   /// I/O buffer per stream.
@@ -56,6 +75,9 @@ struct ExternalSortOptions {
 
   /// Keep run/intermediate files after sorting (for inspection).
   bool keep_temp_files = false;
+
+  /// Pipelined/parallel execution knobs (serial by default).
+  ParallelOptions parallel;
 };
 
 /// Timing and volume breakdown of one sort, mirroring the measurements of
@@ -86,7 +108,6 @@ class ExternalSorter {
  private:
   Env* env_;
   ExternalSortOptions options_;
-  uint64_t sort_counter_ = 0;
 };
 
 /// Scans a record file, verifying it is sorted; returns its record count

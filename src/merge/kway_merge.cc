@@ -4,8 +4,12 @@
 
 namespace twrs {
 
-RunCursor::RunCursor(Env* env, RunInfo run, size_t block_bytes)
-    : env_(env), run_(std::move(run)), block_bytes_(block_bytes) {}
+RunCursor::RunCursor(Env* env, RunInfo run, size_t block_bytes,
+                     size_t prefetch_blocks)
+    : env_(env),
+      run_(std::move(run)),
+      block_bytes_(block_bytes),
+      prefetch_blocks_(prefetch_blocks) {}
 
 Status RunCursor::Init() {
   segment_ = 0;
@@ -43,6 +47,14 @@ Status RunCursor::Advance() {
                                                     seg.num_files,
                                                     block_bytes_);
       TWRS_RETURN_IF_ERROR(reverse_->status());
+    } else if (prefetch_blocks_ > 0) {
+      std::unique_ptr<SequentialFile> file;
+      TWRS_RETURN_IF_ERROR(env_->NewSequentialFile(seg.path, &file));
+      forward_ = std::make_unique<RecordReader>(
+          std::make_unique<PrefetchingSequentialFile>(
+              std::move(file), block_bytes_, prefetch_blocks_),
+          block_bytes_);
+      TWRS_RETURN_IF_ERROR(forward_->status());
     } else {
       forward_ = std::make_unique<RecordReader>(env_, seg.path, block_bytes_);
       TWRS_RETURN_IF_ERROR(forward_->status());
@@ -51,14 +63,15 @@ Status RunCursor::Advance() {
 }
 
 Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
-                 size_t block_bytes,
+                 const MergeIoOptions& io,
                  const std::function<Status(Key)>& emit) {
   const size_t k = runs.size();
   std::vector<std::unique_ptr<RunCursor>> cursors;
   cursors.reserve(k);
   LoserTree tree(k);
   for (size_t i = 0; i < k; ++i) {
-    cursors.push_back(std::make_unique<RunCursor>(env, runs[i], block_bytes));
+    cursors.push_back(std::make_unique<RunCursor>(env, runs[i], io.block_bytes,
+                                                  io.prefetch_blocks));
     TWRS_RETURN_IF_ERROR(cursors.back()->Init());
     if (cursors.back()->valid()) tree.SetInitial(i, cursors.back()->key());
   }
@@ -76,36 +89,54 @@ Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
   return Status::OK();
 }
 
+Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
+                 size_t block_bytes,
+                 const std::function<Status(Key)>& emit) {
+  MergeIoOptions io;
+  io.block_bytes = block_bytes;
+  return KWayMerge(env, runs, io, emit);
+}
+
 Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
-                       size_t block_bytes, const std::string& output_path,
-                       RunInfo* out) {
-  RecordWriter writer(env, output_path, block_bytes);
-  TWRS_RETURN_IF_ERROR(writer.status());
+                       const MergeIoOptions& io,
+                       const std::string& output_path, RunInfo* out) {
+  std::unique_ptr<RecordWriter> writer;
+  TWRS_RETURN_IF_ERROR(MakeAsyncRecordWriter(env, output_path, io.block_bytes,
+                                             io.pool, io.async_buffer_bytes,
+                                             &writer));
   bool first = true;
   Key min_key = 0;
   Key max_key = 0;
-  TWRS_RETURN_IF_ERROR(KWayMerge(env, runs, block_bytes, [&](Key key) {
+  TWRS_RETURN_IF_ERROR(KWayMerge(env, runs, io, [&](Key key) {
     if (first) {
       min_key = key;
       first = false;
     }
     max_key = key;
-    return writer.Append(key);
+    return writer->Append(key);
   }));
-  TWRS_RETURN_IF_ERROR(writer.Finish());
+  TWRS_RETURN_IF_ERROR(writer->Finish());
   if (out != nullptr) {
     RunInfo info;
     RunSegment seg;
     seg.path = output_path;
     seg.reverse = false;
-    seg.count = writer.count();
+    seg.count = writer->count();
     info.segments.push_back(std::move(seg));
-    info.length = writer.count();
+    info.length = writer->count();
     info.min_key = min_key;
     info.max_key = max_key;
     *out = std::move(info);
   }
   return Status::OK();
+}
+
+Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
+                       size_t block_bytes, const std::string& output_path,
+                       RunInfo* out) {
+  MergeIoOptions io;
+  io.block_bytes = block_bytes;
+  return KWayMergeToFile(env, runs, io, output_path, out);
 }
 
 Status RemoveRunFiles(Env* env, const RunInfo& run) {

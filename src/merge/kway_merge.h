@@ -8,6 +8,8 @@
 
 #include "core/record.h"
 #include "core/run_sink.h"
+#include "exec/async_io.h"
+#include "exec/thread_pool.h"
 #include "io/env.h"
 #include "io/record_io.h"
 #include "io/reverse_run_file.h"
@@ -15,13 +17,32 @@
 
 namespace twrs {
 
+/// I/O configuration of one k-way merge.
+struct MergeIoOptions {
+  /// Read/write buffer per stream.
+  size_t block_bytes = kDefaultBlockBytes;
+
+  /// Blocks of read-ahead per forward input stream (0 = synchronous reads).
+  /// Reverse-format segments use positioned reads and stay synchronous.
+  size_t prefetch_blocks = 0;
+
+  /// When non-null, the merge output is written through an AsyncWritableFile
+  /// flushed on this pool, overlapping loser-tree work with output I/O.
+  ThreadPool* pool = nullptr;
+
+  /// Size of each half of the output writer's async double buffer.
+  size_t async_buffer_bytes = kDefaultAsyncBufferBytes;
+};
+
 /// Streaming cursor over one generated run: iterates its segments in order,
 /// reading forward segments with RecordReader and decreasing segments
 /// through the Appendix-A reverse reader, yielding a single non-decreasing
-/// key sequence.
+/// key sequence. With `prefetch_blocks` > 0, forward segments read through a
+/// PrefetchingSequentialFile that keeps that many blocks in flight.
 class RunCursor {
  public:
-  RunCursor(Env* env, RunInfo run, size_t block_bytes = kDefaultBlockBytes);
+  RunCursor(Env* env, RunInfo run, size_t block_bytes = kDefaultBlockBytes,
+            size_t prefetch_blocks = 0);
 
   /// Opens the first segment and positions on the first record.
   Status Init();
@@ -42,6 +63,7 @@ class RunCursor {
   Env* env_;
   RunInfo run_;
   size_t block_bytes_;
+  size_t prefetch_blocks_;
   size_t segment_ = 0;
   std::unique_ptr<RecordReader> forward_;
   std::unique_ptr<ReverseRunReader> reverse_;
@@ -50,14 +72,24 @@ class RunCursor {
 };
 
 /// Merges `runs` into a single non-decreasing stream delivered to `emit`
-/// (§2.1.2, k-way merge over a loser tree). `block_bytes` is the read
+/// (§2.1.2, k-way merge over a loser tree). `io.block_bytes` is the read
 /// buffer per run — the per-run merge buffer of the paper's setup.
+Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
+                 const MergeIoOptions& io,
+                 const std::function<Status(Key)>& emit);
+
+/// Synchronous-I/O shorthand for the overload above.
 Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
                  size_t block_bytes,
                  const std::function<Status(Key)>& emit);
 
 /// Convenience overload merging into a record file at `output_path`;
 /// returns the resulting single run through `*out` if non-null.
+Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
+                       const MergeIoOptions& io,
+                       const std::string& output_path, RunInfo* out);
+
+/// Synchronous-I/O shorthand for the overload above.
 Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
                        size_t block_bytes, const std::string& output_path,
                        RunInfo* out);

@@ -1,10 +1,24 @@
 #include "merge/merge_plan.h"
 
 #include <deque>
+#include <utility>
+#include <vector>
 
 #include "merge/kway_merge.h"
 
 namespace twrs {
+
+namespace {
+
+/// One fan-in-way intermediate merge with its inputs and output slot.
+struct LeafMerge {
+  std::vector<RunInfo> inputs;
+  std::string output_path;
+  RunInfo merged;
+  TaskHandle handle;
+};
+
+}  // namespace
 
 Status MergeRuns(Env* env, std::vector<RunInfo> runs,
                  const MergeOptions& options, const std::string& output_path,
@@ -16,6 +30,11 @@ Status MergeRuns(Env* env, std::vector<RunInfo> runs,
   std::deque<RunInfo> queue(runs.begin(), runs.end());
   uint64_t temp_counter = 0;
 
+  MergeIoOptions io;
+  io.block_bytes = options.block_bytes;
+  io.prefetch_blocks = options.prefetch_blocks;
+  io.pool = options.pool;
+
   if (queue.empty()) {
     // Sorting an empty input produces an empty output file.
     RecordWriter writer(env, output_path, options.block_bytes);
@@ -25,38 +44,71 @@ Status MergeRuns(Env* env, std::vector<RunInfo> runs,
     return Status::OK();
   }
 
+  const bool parallel = options.pool != nullptr && options.parallel_leaf_merges;
+
   // Intermediate passes: shrink the queue until one merge reaches the
   // final output. Note a single run still goes through one "merge" so the
   // output is always a plain forward record file.
+  //
+  // Both modes consume the queue in FIFO order and append merge outputs in
+  // batch order, so the sequence of batch compositions — and with it the
+  // stats and the bytes written — is identical. The parallel mode merely
+  // dispatches every batch takeable at one level onto the pool at once
+  // instead of merging it inline.
   while (queue.size() > options.fan_in) {
-    std::vector<RunInfo> batch;
-    const size_t take = options.fan_in;
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue.front()));
-      queue.pop_front();
-    }
-    const std::string temp_path = options.temp_dir + "/" +
-                                  options.temp_prefix + "_tmp" +
-                                  std::to_string(temp_counter++);
-    RunInfo merged;
-    TWRS_RETURN_IF_ERROR(
-        KWayMergeToFile(env, batch, options.block_bytes, temp_path, &merged));
-    ++local.merge_steps;
-    ++local.intermediate_runs;
-    local.records_written += merged.length;
-    if (options.remove_inputs) {
-      for (const RunInfo& run : batch) {
-        TWRS_RETURN_IF_ERROR(RemoveRunFiles(env, run));
+    std::vector<LeafMerge> level;
+    do {
+      LeafMerge leaf;
+      leaf.inputs.reserve(options.fan_in);
+      for (size_t i = 0; i < options.fan_in; ++i) {
+        leaf.inputs.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+      leaf.output_path = options.temp_dir + "/" + options.temp_prefix +
+                         "_tmp" + std::to_string(temp_counter++);
+      level.push_back(std::move(leaf));
+    } while (parallel && queue.size() > options.fan_in);
+
+    for (LeafMerge& leaf : level) {
+      if (parallel) {
+        leaf.handle = options.pool->Submit([env, &leaf, &io] {
+          return KWayMergeToFile(env, leaf.inputs, io, leaf.output_path,
+                                 &leaf.merged);
+        });
+      } else {
+        TWRS_RETURN_IF_ERROR(
+            KWayMergeToFile(env, leaf.inputs, io, leaf.output_path,
+                            &leaf.merged));
       }
     }
-    queue.push_back(std::move(merged));
+    if (parallel) {
+      // Collect every result before touching the queue; report the first
+      // failure only after all tasks have quiesced.
+      Status first_error;
+      for (LeafMerge& leaf : level) {
+        Status s = leaf.handle.Wait();
+        if (!s.ok() && first_error.ok()) first_error = std::move(s);
+      }
+      TWRS_RETURN_IF_ERROR(first_error);
+    }
+    for (LeafMerge& leaf : level) {
+      ++local.merge_steps;
+      ++local.intermediate_runs;
+      local.records_written += leaf.merged.length;
+      if (options.remove_inputs) {
+        for (const RunInfo& run : leaf.inputs) {
+          TWRS_RETURN_IF_ERROR(RemoveRunFiles(env, run));
+        }
+      }
+      queue.push_back(std::move(leaf.merged));
+    }
   }
 
   std::vector<RunInfo> final_batch(queue.begin(), queue.end());
   queue.clear();
   RunInfo final_run;
-  TWRS_RETURN_IF_ERROR(KWayMergeToFile(env, final_batch, options.block_bytes,
-                                       output_path, &final_run));
+  TWRS_RETURN_IF_ERROR(
+      KWayMergeToFile(env, final_batch, io, output_path, &final_run));
   ++local.merge_steps;
   local.records_written += final_run.length;
   if (options.remove_inputs) {

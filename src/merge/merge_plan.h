@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/run_sink.h"
+#include "exec/thread_pool.h"
 #include "io/env.h"
 #include "io/record_io.h"
 #include "util/status.h"
@@ -29,6 +30,19 @@ struct MergeOptions {
 
   /// Delete input and intermediate runs once consumed.
   bool remove_inputs = true;
+
+  /// Execution pool for the parallel knobs below; null means fully serial.
+  /// Must outlive the merge. The Env must then be safe for concurrent file
+  /// creation/removal (PosixEnv, MemEnv and SimDiskEnv all are).
+  ThreadPool* pool = nullptr;
+
+  /// Read-ahead blocks per forward input stream (0 = synchronous reads).
+  size_t prefetch_blocks = 0;
+
+  /// Dispatch independent same-level intermediate merges onto `pool`
+  /// concurrently. Batch composition matches the serial schedule exactly,
+  /// so stats and output are identical to a serial merge.
+  bool parallel_leaf_merges = false;
 };
 
 /// Merge-phase statistics.

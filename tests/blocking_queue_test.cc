@@ -1,0 +1,125 @@
+#include "exec/blocking_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace twrs {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) {
+    int v = -1;
+    EXPECT_TRUE(q.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueueTest, TryPushFailsWhenFull) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  int v;
+  EXPECT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BlockingQueueTest, TryPopFailsWhenEmpty) {
+  BlockingQueue<int> q(2);
+  int v;
+  EXPECT_FALSE(q.TryPop(&v));
+}
+
+TEST(BlockingQueueTest, ZeroCapacityIsClampedToOne) {
+  BlockingQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(7));
+  EXPECT_FALSE(q.TryPush(8));
+}
+
+TEST(BlockingQueueTest, PushBlocksUntilPopMakesRoom) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  // Give the producer a chance to park on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed.load());
+  int v;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(BlockingQueueTest, CloseUnblocksProducerAndConsumer) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.Push(2)); });
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.Close();
+  });
+  producer.join();
+  closer.join();
+  // Remaining items drain before Pop starts failing.
+  int v = -1;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(q.Pop(&v));
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BlockingQueueTest, PushAfterCloseFails) {
+  BlockingQueue<int> q(4);
+  q.Close();
+  EXPECT_FALSE(q.Push(1));
+  EXPECT_FALSE(q.TryPush(1));
+}
+
+TEST(BlockingQueueTest, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2500;
+  BlockingQueue<int> q(16);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v;
+      while (q.Pop(&v)) {
+        sum.fetch_add(v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace twrs

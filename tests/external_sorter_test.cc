@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <tuple>
 
 #include "core/load_sort_store.h"
@@ -143,6 +144,129 @@ TEST(ExternalSorterTest, SequentialSortsDoNotCollide) {
     ASSERT_TWRS_OK(VerifySortedFile(&env, out, &count, &checksum));
     EXPECT_EQ(count, input.size());
     EXPECT_TRUE(checksum == ChecksumOf(input));
+  }
+}
+
+// The parallel path (async run writes, prefetching merge inputs, pool-
+// dispatched leaf merges) must be a pure performance feature: same record
+// count, same checksum, byte-identical output file.
+TEST(ExternalSorterParallelTest, ParallelOutputIsByteIdenticalToSerial) {
+  MemEnv env;
+  WorkloadOptions wl;
+  wl.num_records = 20000;
+  wl.seed = 42;
+  wl.sections = 16;
+  auto input =
+      testing::Drain(MakeWorkload(Dataset::kAlternating, wl).get());
+
+  ExternalSortOptions options;
+  options.memory_records = 128;
+  options.twrs = TwoWayOptions::Recommended(128, 7);
+  options.fan_in = 4;
+  options.temp_dir = "tmp";
+  options.block_bytes = 512;  // many blocks per stream
+
+  ExternalSortResult serial_result;
+  {
+    ExternalSorter sorter(&env, options);
+    VectorSource source(input);
+    ASSERT_TWRS_OK(sorter.Sort(&source, "out_serial", &serial_result));
+  }
+
+  options.parallel.worker_threads = 4;
+  options.parallel.prefetch_blocks = 3;
+  options.parallel.parallel_leaf_merges = true;
+  ExternalSortResult parallel_result;
+  {
+    ExternalSorter sorter(&env, options);
+    VectorSource source(input);
+    ASSERT_TWRS_OK(sorter.Sort(&source, "out_parallel", &parallel_result));
+  }
+
+  uint64_t serial_count = 0, parallel_count = 0;
+  KeyChecksum serial_sum, parallel_sum;
+  ASSERT_TWRS_OK(
+      VerifySortedFile(&env, "out_serial", &serial_count, &serial_sum));
+  ASSERT_TWRS_OK(
+      VerifySortedFile(&env, "out_parallel", &parallel_count, &parallel_sum));
+  EXPECT_EQ(serial_count, input.size());
+  EXPECT_EQ(parallel_count, serial_count);
+  EXPECT_TRUE(parallel_sum == serial_sum);
+  EXPECT_TRUE(serial_sum == testing::ChecksumOf(input));
+
+  const std::vector<uint8_t>* serial_bytes = env.FileContents("out_serial");
+  const std::vector<uint8_t>* parallel_bytes =
+      env.FileContents("out_parallel");
+  ASSERT_NE(serial_bytes, nullptr);
+  ASSERT_NE(parallel_bytes, nullptr);
+  EXPECT_TRUE(*serial_bytes == *parallel_bytes);
+
+  // Identical merge schedule, so identical stats.
+  EXPECT_EQ(parallel_result.run_gen.num_runs(),
+            serial_result.run_gen.num_runs());
+  EXPECT_EQ(parallel_result.merge.merge_steps,
+            serial_result.merge.merge_steps);
+  EXPECT_EQ(parallel_result.merge.records_written,
+            serial_result.merge.records_written);
+}
+
+TEST(ExternalSorterParallelTest, ParallelSortCleansUpTempFiles) {
+  MemEnv env;
+  ExternalSortOptions options;
+  options.memory_records = 64;
+  options.twrs = TwoWayOptions::Recommended(64);
+  options.temp_dir = "tmp";
+  options.fan_in = 2;
+  options.parallel.worker_threads = 3;
+  options.parallel.prefetch_blocks = 2;
+  ExternalSorter sorter(&env, options);
+  WorkloadOptions wl;
+  wl.num_records = 5000;
+  wl.seed = 9;
+  auto input = testing::Drain(MakeWorkload(Dataset::kRandom, wl).get());
+  VectorSource source(input);
+  ASSERT_TWRS_OK(sorter.Sort(&source, "out", nullptr));
+  EXPECT_EQ(env.FileCount(), 1u);  // only the sorted output remains
+}
+
+// Regression test for the fixed temp_dir collision: sorts sharing one
+// temp_dir used to overwrite each other's run files ("sort0_run0_s1").
+// Each Sort now works in a unique subdirectory, so fully concurrent sorts
+// against one Env must both succeed and verify.
+TEST(ExternalSorterParallelTest, ConcurrentSortsSharingTempDirDoNotCollide) {
+  MemEnv env;
+  constexpr int kSorts = 4;
+  std::vector<std::vector<Key>> inputs(kSorts);
+  std::vector<Status> statuses(kSorts);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSorts; ++i) {
+    WorkloadOptions wl;
+    wl.num_records = 4000;
+    wl.seed = 1000 + i;
+    inputs[i] = testing::Drain(MakeWorkload(Dataset::kRandom, wl).get());
+    threads.emplace_back([&env, &inputs, &statuses, i] {
+      ExternalSortOptions options;
+      options.memory_records = 64;
+      options.twrs = TwoWayOptions::Recommended(64);
+      options.fan_in = 3;
+      options.temp_dir = "tmp";  // deliberately shared
+      options.block_bytes = 512;
+      // Odd sorts additionally run their own parallel pipeline.
+      options.parallel.worker_threads = (i % 2 == 1) ? 2 : 0;
+      ExternalSorter sorter(&env, options);
+      VectorSource source(inputs[i]);
+      statuses[i] = sorter.Sort(&source, "out" + std::to_string(i), nullptr);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kSorts; ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << statuses[i].ToString();
+    uint64_t count = 0;
+    KeyChecksum checksum;
+    ASSERT_TWRS_OK(VerifySortedFile(&env, "out" + std::to_string(i), &count,
+                                    &checksum));
+    EXPECT_EQ(count, inputs[i].size());
+    EXPECT_TRUE(checksum == testing::ChecksumOf(inputs[i]));
   }
 }
 

@@ -1,0 +1,177 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace twrs {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<TaskHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(pool.Submit([&counter] {
+      counter.fetch_add(1);
+      return Status::OK();
+    }));
+  }
+  for (TaskHandle& h : handles) ASSERT_TWRS_OK(h.Wait());
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_TWRS_OK(pool.Submit([] { return Status::OK(); }).Wait());
+}
+
+TEST(ThreadPoolTest, WaitPropagatesStatus) {
+  ThreadPool pool(2);
+  TaskHandle h =
+      pool.Submit([] { return Status::IOError("disk on fire"); });
+  Status s = h.Wait();
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "disk on fire");
+  // Wait is idempotent.
+  EXPECT_TRUE(h.Wait().IsIOError());
+}
+
+TEST(ThreadPoolTest, WaitOnInvalidHandleIsOk) {
+  TaskHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_TWRS_OK(h.Wait());
+  EXPECT_TRUE(h.done());
+}
+
+// A waiter must execute a still-queued task inline rather than block on a
+// saturated pool — this is what makes nested waits (a pool task waiting on
+// a sub-task) deadlock-free.
+TEST(ThreadPoolTest, WaitHelpsWithQueuedTasks) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocker_started = false;
+  TaskHandle blocker = pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    blocker_started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+    return Status::OK();
+  });
+  {
+    // Ensure the single worker is parked inside the blocker.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return blocker_started; });
+  }
+  TaskHandle queued = pool.Submit([] { return Status::OK(); });
+  // The worker is busy, so this can only finish by running inline.
+  ASSERT_TWRS_OK(queued.Wait());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ASSERT_TWRS_OK(blocker.Wait());
+}
+
+// Tasks submitted on pool threads may wait on their own sub-tasks even when
+// every worker is occupied (the pattern parallel leaf merges + async
+// flushes rely on).
+TEST(ThreadPoolTest, NestedSubmitAndWaitDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::vector<TaskHandle> outer;
+  std::atomic<int> inner_done{0};
+  for (int i = 0; i < 8; ++i) {
+    outer.push_back(pool.Submit([&pool, &inner_done] {
+      std::vector<TaskHandle> inner;
+      for (int j = 0; j < 4; ++j) {
+        inner.push_back(pool.Submit([&inner_done] {
+          inner_done.fetch_add(1);
+          return Status::OK();
+        }));
+      }
+      for (TaskHandle& h : inner) TWRS_RETURN_IF_ERROR(h.Wait());
+      return Status::OK();
+    }));
+  }
+  for (TaskHandle& h : outer) ASSERT_TWRS_OK(h.Wait());
+  EXPECT_EQ(inner_done.load(), 32);
+}
+
+// High-priority tasks (async flushes) overtake queued normal tasks (leaf
+// merges) so producers waiting on them keep their I/O overlap.
+TEST(ThreadPoolTest, HighPriorityTasksOvertakeQueuedNormalTasks) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocker_started = false;
+  std::vector<int> order;
+  TaskHandle blocker = pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    blocker_started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+    return Status::OK();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return blocker_started; });
+  }
+  // Queued behind the blocker: a normal task, then a high-priority one.
+  TaskHandle normal = pool.Submit([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(1);
+    return Status::OK();
+  });
+  TaskHandle high = pool.Submit(
+      [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(2);
+        return Status::OK();
+      },
+      TaskPriority::kHigh);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ASSERT_TWRS_OK(blocker.Wait());
+  ASSERT_TWRS_OK(high.Wait());
+  ASSERT_TWRS_OK(normal.Wait());
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // high ran first despite later submission
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] {
+        counter.fetch_add(1);
+        return Status::OK();
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DoneReportsCompletion) {
+  ThreadPool pool(1);
+  TaskHandle h = pool.Submit([] { return Status::OK(); });
+  ASSERT_TWRS_OK(h.Wait());
+  EXPECT_TRUE(h.done());
+}
+
+}  // namespace
+}  // namespace twrs
