@@ -48,6 +48,10 @@ void Run() {
     spec.algorithm = RunGenAlgorithm::kTwoWayReplacementSelection;
     spec.parallel.worker_threads = threads;
     spec.parallel.prefetch_blocks = threads == 0 ? 0 : 2;
+    // This bench measures scaling per pool size, so each row spawns its
+    // own worker_threads-sized pool instead of borrowing the shared
+    // executor (whose capacity is fixed process-wide).
+    spec.parallel.dedicated_pool = true;
     spec.disk = disk;
     spec.label = threads == 0 ? "serial" : "parallel";
     const TimedSort timed = RunTimedSort(spec);

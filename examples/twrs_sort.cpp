@@ -12,9 +12,15 @@
 //   --buffers FRACTION                2WRS buffer fraction (default 0.02)
 //   --input-heuristic NAME            random|alternate|mean|median|useful|balancing
 //   --output-heuristic NAME           random|alternate|useful|balancing|mindistance
-//   --threads N                       worker threads for the pipelined path
-//                                     (0 = serial, default)
+//   --threads N                       N > 0 enables the pipelined path
+//                                     (0 = serial, default); workers come
+//                                     from the shared executor — size it
+//                                     with --executor-threads
 //   --prefetch N                      read-ahead blocks per merge input
+//   --shards N                        range shards sorted concurrently on the
+//                                     shared executor (1 = unsharded, default)
+//   --executor-threads N              capacity of the process-wide shared
+//                                     executor (0 = hardware concurrency)
 //   --verify                          check the output after sorting
 //   --generate DATASET                write a workload instead of sorting:
 //                                     sorted|reverse|alternating|random|mixed|imbalanced
@@ -28,8 +34,10 @@
 #include <cstring>
 #include <string>
 
+#include "exec/executor.h"
 #include "io/posix_env.h"
 #include "merge/external_sorter.h"
+#include "shard/sharded_sorter.h"
 #include "workload/generators.h"
 
 namespace {
@@ -126,6 +134,8 @@ int main(int argc, char** argv) {
   options.temp_dir = "/tmp/twrs_sort";
   twrs::TwoWayOptions twrs_options =
       twrs::TwoWayOptions::Recommended(options.memory_records);
+  uint64_t shards = 1;
+  uint64_t executor_threads = 0;
   bool verify = false;
   bool generate = false;
   twrs::Dataset dataset = twrs::Dataset::kRandom;
@@ -180,6 +190,18 @@ int main(int argc, char** argv) {
       uint64_t v = 0;
       if (!ParseCount(next(), &v) || v > 1024) return Usage();
       options.parallel.prefetch_blocks = v;
+    } else if (arg == "--shards") {
+      uint64_t v = 0;
+      if (!ParseCount(next(), &v) || v > 1024) return Usage();
+      if (v == 0) {
+        fprintf(stderr, "--shards must be at least 1 (got 0)\n");
+        return 2;
+      }
+      shards = v;
+    } else if (arg == "--executor-threads") {
+      uint64_t v = 0;
+      if (!ParseCount(next(), &v) || v > 1024) return Usage();
+      executor_threads = v;
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--generate") {
@@ -221,25 +243,54 @@ int main(int argc, char** argv) {
   if (positionals != 2) return Usage();
   twrs_options.memory_records = options.memory_records;
   options.twrs = twrs_options;
-  twrs::ExternalSorter sorter(&env, options);
-  twrs::FileRecordSource source(&env, positional[0]);
-  twrs::ExternalSortResult result;
-  twrs::Status s = sorter.Sort(&source, positional[1], &result);
-  if (!s.ok()) {
-    fprintf(stderr, "sort: %s\n", s.ToString().c_str());
-    return 1;
+  if (executor_threads > 0 &&
+      !twrs::Executor::ConfigureShared(executor_threads)) {
+    fprintf(stderr,
+            "--executor-threads: the shared executor already started\n");
+    return 2;
   }
-  if (!source.status().ok()) {
-    fprintf(stderr, "read input: %s\n", source.status().ToString().c_str());
-    return 1;
+  twrs::Status s;
+  if (shards > 1) {
+    twrs::ShardedSortOptions sharded;
+    sharded.shards = shards;
+    sharded.sample_seed = seed;
+    sharded.sort = options;
+    twrs::ShardedSorter sorter(&env, sharded);
+    twrs::ShardedSortResult result;
+    s = sorter.SortFile(positional[0], positional[1], &result);
+    if (!s.ok()) {
+      fprintf(stderr, "sort: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    printf("%s sharded: %llu records over %zu shards, "
+           "split %.3fs + sort %.3fs + concat %.3fs = %.3fs\n",
+           twrs::RunGenAlgorithmName(options.algorithm),
+           static_cast<unsigned long long>(result.output_records),
+           result.shard_records.size(), result.split_seconds,
+           result.sort_seconds, result.concat_seconds, result.total_seconds);
+  } else {
+    twrs::ExternalSorter sorter(&env, options);
+    twrs::FileRecordSource source(&env, positional[0]);
+    twrs::ExternalSortResult result;
+    s = sorter.Sort(&source, positional[1], &result);
+    if (!s.ok()) {
+      fprintf(stderr, "sort: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (!source.status().ok()) {
+      fprintf(stderr, "read input: %s\n",
+              source.status().ToString().c_str());
+      return 1;
+    }
+    printf("%s: %llu records, %llu runs (avg %.2fx memory), "
+           "gen %.3fs + merge %.3fs = %.3fs\n",
+           twrs::RunGenAlgorithmName(options.algorithm),
+           static_cast<unsigned long long>(result.output_records),
+           static_cast<unsigned long long>(result.run_gen.num_runs()),
+           result.run_gen.AverageRunLengthRelative(options.memory_records),
+           result.run_gen_seconds, result.merge_seconds,
+           result.total_seconds);
   }
-  printf("%s: %llu records, %llu runs (avg %.2fx memory), "
-         "gen %.3fs + merge %.3fs = %.3fs\n",
-         twrs::RunGenAlgorithmName(options.algorithm),
-         static_cast<unsigned long long>(result.output_records),
-         static_cast<unsigned long long>(result.run_gen.num_runs()),
-         result.run_gen.AverageRunLengthRelative(options.memory_records),
-         result.run_gen_seconds, result.merge_seconds, result.total_seconds);
   if (verify) {
     uint64_t count = 0;
     s = twrs::VerifySortedFile(&env, positional[1], &count, nullptr);

@@ -10,15 +10,22 @@ namespace twrs {
 
 namespace {
 
-// State of one distribution sort execution.
+// State of one distribution sort execution. All scratch files live inside
+// `work_dir`, a unique per-sort subdirectory of options.temp_dir, so
+// concurrent distribution sorts sharing a temp_dir never collide.
 class Context {
  public:
   Context(Env* env, const DistributionSortOptions& options,
-          RecordWriter* output, DistributionSortStats* stats)
-      : env_(env), options_(options), output_(output), stats_(stats) {}
+          std::string work_dir, RecordWriter* output,
+          DistributionSortStats* stats)
+      : env_(env),
+        options_(options),
+        work_dir_(std::move(work_dir)),
+        output_(output),
+        stats_(stats) {}
 
   std::string NextTempPath() {
-    return options_.temp_dir + "/bucket_" + std::to_string(counter_++);
+    return work_dir_ + "/bucket_" + std::to_string(counter_++);
   }
 
   // Sorts the bucket file `path` (count records spanning [min,max]) and
@@ -46,7 +53,7 @@ class Context {
     if (depth >= options_.max_depth || span < options_.num_buckets) {
       // Splitting cannot make progress (heavy clustering); fall back to
       // external mergesort for this bucket (§2.2 allows any external sort).
-      return Fallback(path, depth);
+      return Fallback(path);
     }
     return Distribute(path, min_key, max_key, depth);
   }
@@ -107,13 +114,13 @@ class Context {
     return Status::OK();
   }
 
-  Status Fallback(const std::string& path, size_t depth) {
+  Status Fallback(const std::string& path) {
     ExternalSortOptions sort_options;
     sort_options.algorithm = RunGenAlgorithm::kReplacementSelection;
     sort_options.memory_records = options_.memory_records;
-    sort_options.temp_dir = options_.temp_dir + "/fallback" +
-                            std::to_string(depth) + "_" +
-                            std::to_string(counter_++);
+    // ExternalSorter works in a unique subdirectory of its temp_dir, so
+    // fallback sorts can share the work dir without clashing.
+    sort_options.temp_dir = work_dir_;
     sort_options.block_bytes = options_.block_bytes;
     ExternalSorter sorter(env_, sort_options);
     const std::string sorted_path = NextTempPath();
@@ -151,6 +158,7 @@ class Context {
 
   Env* env_;
   const DistributionSortOptions& options_;
+  std::string work_dir_;
   RecordWriter* output_;
   DistributionSortStats* stats_;
   uint64_t counter_ = 0;
@@ -165,12 +173,14 @@ Status DistributionSort(Env* env, RecordSource* source,
   if (options.num_buckets < 2) {
     return Status::InvalidArgument("num_buckets must be at least 2");
   }
-  TWRS_RETURN_IF_ERROR(env->CreateDirIfMissing(options.temp_dir));
+  const std::string work_dir =
+      options.temp_dir + "/" + UniqueScratchDirName("dist");
+  TWRS_RETURN_IF_ERROR(env->CreateDirIfMissing(work_dir));
 
   // Pass 0: materialize the stream while learning its range — a streaming
   // input's min/max are unknown up front (the paper assumes a known range;
   // this pass removes that assumption).
-  const std::string staging = options.temp_dir + "/staging";
+  const std::string staging = work_dir + "/staging";
   uint64_t count = 0;
   Key min_key = 0;
   Key max_key = 0;
@@ -193,10 +203,11 @@ Status DistributionSort(Env* env, RecordSource* source,
 
   RecordWriter output(env, output_path, options.block_bytes);
   TWRS_RETURN_IF_ERROR(output.status());
-  Context context(env, options, &output, stats);
+  Context context(env, options, work_dir, &output, stats);
   TWRS_RETURN_IF_ERROR(
       context.SortBucket(staging, count, min_key, max_key, 0));
-  return output.Finish();
+  TWRS_RETURN_IF_ERROR(output.Finish());
+  return env->RemoveDir(work_dir);
 }
 
 }  // namespace twrs

@@ -1,0 +1,62 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace twrs {
+
+namespace {
+
+size_t ResolvedCapacity(const ExecutorOptions& options) {
+  if (options.capacity > 0) return options.capacity;
+  return std::max<size_t>(2, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+Executor::Executor(ExecutorOptions options) : options_(options) {}
+
+ThreadPool* Executor::GetPool(const std::string& name, size_t threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pools_.find(name);
+  if (it == pools_.end()) {
+    const size_t n = threads > 0 ? threads : ResolvedCapacity(options_);
+    it = pools_.emplace(name, std::make_unique<ThreadPool>(n)).first;
+  }
+  return it->second.get();
+}
+
+size_t Executor::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ResolvedCapacity(options_);
+}
+
+bool Executor::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pools_.empty()) return false;
+  options_.capacity = capacity;
+  return true;
+}
+
+bool Executor::started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !pools_.empty();
+}
+
+size_t Executor::pool_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pools_.size();
+}
+
+Executor& Executor::Shared() {
+  // Never destroyed: borrowed pools must outlive any static-destruction
+  // order, and exiting with parked workers is harmless (Env::Default idiom).
+  static Executor* const kShared = new Executor();
+  return *kShared;
+}
+
+bool Executor::ConfigureShared(size_t capacity) {
+  return Shared().SetCapacity(capacity);
+}
+
+}  // namespace twrs

@@ -1,0 +1,79 @@
+#ifndef TWRS_EXEC_EXECUTOR_H_
+#define TWRS_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "exec/thread_pool.h"
+
+namespace twrs {
+
+/// Configuration of an Executor.
+struct ExecutorOptions {
+  /// Worker threads of a pool created without an explicit size;
+  /// 0 = hardware concurrency (at least 2).
+  size_t capacity = 0;
+};
+
+/// A lazily-initialized registry of named ThreadPools. One Executor is the
+/// process-wide instance reached through Shared(): concurrent sorts borrow
+/// its workers instead of each spawning a pool per Sort call, so a server
+/// running many queries keeps a bounded thread count no matter how many
+/// sorts are in flight. Nested waits are safe on a crowded shared pool
+/// because TaskHandle::Wait is work-helping (see thread_pool.h).
+///
+/// Pools are created on first request and live as long as the Executor;
+/// requesting the same name again returns the existing pool regardless of
+/// the requested size, so the first caller fixes a pool's capacity.
+class Executor {
+ public:
+  explicit Executor(ExecutorOptions options = ExecutorOptions());
+  ~Executor() = default;
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// The default pool, created on first call with capacity() workers.
+  ThreadPool* pool() { return GetPool(kDefaultPool, 0); }
+
+  /// Gets or creates the pool registered under `name`. `threads` sizes the
+  /// pool only on creation (0 = capacity()); an existing pool is returned
+  /// as-is.
+  ThreadPool* GetPool(const std::string& name, size_t threads = 0);
+
+  /// The resolved default-pool size (options.capacity, or the hardware
+  /// concurrency when that is 0).
+  size_t capacity() const;
+
+  /// Reconfigures the default capacity. Succeeds only while no pool has
+  /// been created yet; returns false (changing nothing) afterwards, since
+  /// running pools cannot be resized.
+  bool SetCapacity(size_t capacity);
+
+  /// True once any pool has been created.
+  bool started() const;
+
+  /// Number of pools currently registered.
+  size_t pool_count() const;
+
+  /// The process-wide shared executor. Never destroyed (leaked-singleton
+  /// idiom, as Env::Default), so borrowed pools outlive every sort.
+  static Executor& Shared();
+
+  /// Configures Shared()'s default capacity; forwards to SetCapacity, so it
+  /// only succeeds before the shared executor starts its first pool.
+  static bool ConfigureShared(size_t capacity);
+
+ private:
+  static constexpr const char* kDefaultPool = "default";
+
+  mutable std::mutex mu_;
+  ExecutorOptions options_;
+  std::map<std::string, std::unique_ptr<ThreadPool>> pools_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_EXEC_EXECUTOR_H_

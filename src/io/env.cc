@@ -1,8 +1,18 @@
 #include "io/env.h"
 
+#include <unistd.h>
+
+#include <atomic>
+
 #include "io/posix_env.h"
 
 namespace twrs {
+
+std::string UniqueScratchDirName(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  return prefix + "_" + std::to_string(static_cast<uint64_t>(::getpid())) +
+         "_" + std::to_string(counter.fetch_add(1));
+}
 
 Env* Env::Default() {
   // Never destroyed: avoids static destruction order issues (see style guide

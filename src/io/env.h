@@ -91,6 +91,13 @@ class Env {
   static Env* Default();
 };
 
+/// A scratch-subdirectory name no other caller will pick: the pid keeps
+/// separate processes sharing a default temp_dir apart, a process-wide
+/// counter keeps concurrent callers within one process apart. Shared by
+/// every sorter that works inside a per-invocation subdirectory of its
+/// configured temp_dir (ExternalSorter, DistributionSort, ShardedSorter).
+std::string UniqueScratchDirName(const std::string& prefix);
+
 }  // namespace twrs
 
 #endif  // TWRS_IO_ENV_H_

@@ -1,9 +1,6 @@
 #include "merge/external_sorter.h"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <atomic>
 #include <memory>
 
 #include "core/batched_replacement_selection.h"
@@ -12,6 +9,7 @@
 #include "core/run_generator.h"
 #include "core/run_sink.h"
 #include "io/record_io.h"
+#include "merge/sort_phases.h"
 #include "util/stopwatch.h"
 
 namespace twrs {
@@ -60,73 +58,29 @@ std::unique_ptr<RunGenerator> MakeRunGenerator(RunGenAlgorithm algorithm,
   return nullptr;
 }
 
-namespace {
-
-/// A temp-subdirectory name no other sort will pick: the pid keeps separate
-/// processes sharing a default temp_dir (e.g. /tmp/twrs_sort) apart, the
-/// process-wide counter keeps concurrent sorts within one process apart.
-std::string UniqueSortDirName() {
-  static std::atomic<uint64_t> counter{0};
-  return "sort_" + std::to_string(static_cast<uint64_t>(::getpid())) + "_" +
-         std::to_string(counter.fetch_add(1));
-}
-
-}  // namespace
-
 ExternalSorter::ExternalSorter(Env* env, ExternalSortOptions options)
     : env_(env), options_(std::move(options)) {}
 
 Status ExternalSorter::Sort(RecordSource* source,
                             const std::string& output_path,
                             ExternalSortResult* result) {
-  ExternalSortResult local;
-  const std::string sort_dir =
-      options_.temp_dir + "/" + UniqueSortDirName();
-  TWRS_RETURN_IF_ERROR(env_->CreateDirIfMissing(sort_dir));
-
-  std::unique_ptr<ThreadPool> pool;
-  if (options_.parallel.worker_threads > 0) {
-    pool = std::make_unique<ThreadPool>(options_.parallel.worker_threads);
-  }
-
-  std::unique_ptr<RunGenerator> generator = MakeRunGenerator(
-      options_.algorithm, options_.memory_records, options_.twrs);
-
-  FileRunSinkOptions sink_options;
-  sink_options.block_bytes = options_.block_bytes;
-  sink_options.pool = pool.get();
-  FileRunSink sink(env_, sort_dir, "sort", sink_options);
+  SortContext context;
+  TWRS_RETURN_IF_ERROR(PrepareSortContext(env_, options_, &context));
 
   Stopwatch total_watch;
-  Stopwatch phase_watch;
-  TWRS_RETURN_IF_ERROR(generator->Generate(source, &sink, &local.run_gen));
-  local.run_gen_seconds = phase_watch.ElapsedSeconds();
-
-  MergeOptions merge_options;
-  merge_options.fan_in = options_.fan_in;
-  merge_options.block_bytes = options_.block_bytes;
-  merge_options.temp_dir = sort_dir;
-  merge_options.temp_prefix = "sort";
-  merge_options.remove_inputs = !options_.keep_temp_files;
-  merge_options.pool = pool.get();
-  // Prefetching runs on dedicated pump threads, so it is independent of
-  // the pool; only the pool-dispatched leaf merges require workers.
-  merge_options.prefetch_blocks = options_.parallel.prefetch_blocks;
-  if (pool != nullptr) {
-    merge_options.parallel_leaf_merges =
-        options_.parallel.parallel_leaf_merges;
+  RunGenerationPhase run_generation(source);
+  MergePlanningPhase planning;
+  FinalMergePhase final_merge(output_path);
+  SortPhase* const phases[] = {&run_generation, &planning, &final_merge};
+  for (SortPhase* phase : phases) {
+    TWRS_RETURN_IF_ERROR(phase->Run(&context));
   }
+  context.result.total_seconds = total_watch.ElapsedSeconds();
 
-  phase_watch.Reset();
-  TWRS_RETURN_IF_ERROR(MergeRuns(env_, sink.runs(), merge_options,
-                                 output_path, &local.merge));
-  local.merge_seconds = phase_watch.ElapsedSeconds();
-  local.total_seconds = total_watch.ElapsedSeconds();
-  local.output_records = local.run_gen.total_records;
   if (!options_.keep_temp_files) {
-    TWRS_RETURN_IF_ERROR(env_->RemoveDir(sort_dir));
+    TWRS_RETURN_IF_ERROR(env_->RemoveDir(context.sort_dir));
   }
-  if (result != nullptr) *result = local;
+  if (result != nullptr) *result = context.result;
   return Status::OK();
 }
 

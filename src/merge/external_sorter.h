@@ -17,6 +17,8 @@
 
 namespace twrs {
 
+class Executor;
+
 /// Run generation algorithm of the first external-mergesort phase.
 enum class RunGenAlgorithm {
   kReplacementSelection,
@@ -50,6 +52,19 @@ struct ParallelOptions {
 
   /// Dispatch independent same-level intermediate merges onto the pool.
   bool parallel_leaf_merges = true;
+
+  /// Pool provenance. By default a sort with worker_threads > 0 borrows the
+  /// process-wide Executor::Shared() pool — its size is the executor's
+  /// capacity, and worker_threads then only switches the pool features on —
+  /// so any number of concurrent sorts share one bounded worker set. Set
+  /// dedicated_pool to spawn a private worker_threads-sized ThreadPool for
+  /// this sort instead (the pre-executor model; isolates a sort's thread
+  /// budget, e.g. for benchmarking specific pool sizes).
+  bool dedicated_pool = false;
+
+  /// Executor borrowed from when dedicated_pool is false; null means
+  /// Executor::Shared(). Must outlive the sort.
+  Executor* executor = nullptr;
 };
 
 /// Configuration of a complete external sort.

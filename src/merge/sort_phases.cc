@@ -1,0 +1,80 @@
+#include "merge/sort_phases.h"
+
+#include <utility>
+
+#include "core/run_generator.h"
+#include "exec/executor.h"
+#include "util/stopwatch.h"
+
+namespace twrs {
+
+Status PrepareSortContext(Env* env, const ExternalSortOptions& options,
+                          SortContext* context) {
+  context->env = env;
+  context->options = &options;
+  context->sort_dir = options.temp_dir + "/" + UniqueScratchDirName("sort");
+  TWRS_RETURN_IF_ERROR(env->CreateDirIfMissing(context->sort_dir));
+
+  const ParallelOptions& parallel = options.parallel;
+  if (parallel.worker_threads > 0) {
+    if (parallel.dedicated_pool) {
+      context->owned_pool =
+          std::make_unique<ThreadPool>(parallel.worker_threads);
+      context->pool = context->owned_pool.get();
+    } else {
+      Executor* executor = parallel.executor != nullptr
+                               ? parallel.executor
+                               : &Executor::Shared();
+      context->pool = executor->pool();
+    }
+  }
+  return Status::OK();
+}
+
+Status RunGenerationPhase::Run(SortContext* context) {
+  const ExternalSortOptions& options = *context->options;
+  std::unique_ptr<RunGenerator> generator = MakeRunGenerator(
+      options.algorithm, options.memory_records, options.twrs);
+
+  FileRunSinkOptions sink_options;
+  sink_options.block_bytes = options.block_bytes;
+  sink_options.pool = context->pool;
+  FileRunSink sink(context->env, context->sort_dir, "sort", sink_options);
+
+  Stopwatch watch;
+  TWRS_RETURN_IF_ERROR(
+      generator->Generate(source_, &sink, &context->result.run_gen));
+  context->result.run_gen_seconds = watch.ElapsedSeconds();
+  context->runs = sink.runs();
+  return Status::OK();
+}
+
+Status MergePlanningPhase::Run(SortContext* context) {
+  const ExternalSortOptions& options = *context->options;
+  MergeOptions plan;
+  plan.fan_in = options.fan_in;
+  plan.block_bytes = options.block_bytes;
+  plan.temp_dir = context->sort_dir;
+  plan.temp_prefix = "sort";
+  plan.remove_inputs = !options.keep_temp_files;
+  plan.pool = context->pool;
+  // Prefetching runs on dedicated pump threads, so it is independent of
+  // the pool; only the pool-dispatched leaf merges require workers.
+  plan.prefetch_blocks = options.parallel.prefetch_blocks;
+  plan.parallel_leaf_merges =
+      context->pool != nullptr && options.parallel.parallel_leaf_merges;
+  context->merge_plan = plan;
+  return Status::OK();
+}
+
+Status FinalMergePhase::Run(SortContext* context) {
+  Stopwatch watch;
+  TWRS_RETURN_IF_ERROR(MergeRuns(context->env, std::move(context->runs),
+                                 context->merge_plan, output_path_,
+                                 &context->result.merge));
+  context->result.merge_seconds = watch.ElapsedSeconds();
+  context->result.output_records = context->result.run_gen.total_records;
+  return Status::OK();
+}
+
+}  // namespace twrs

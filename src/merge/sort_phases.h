@@ -1,0 +1,100 @@
+#ifndef TWRS_MERGE_SORT_PHASES_H_
+#define TWRS_MERGE_SORT_PHASES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/record_source.h"
+#include "core/run_sink.h"
+#include "exec/thread_pool.h"
+#include "io/env.h"
+#include "merge/external_sorter.h"
+#include "merge/merge_plan.h"
+#include "util/status.h"
+
+namespace twrs {
+
+/// Shared state threaded through the phases of one external sort. Built by
+/// PrepareSortContext, consumed and extended by each phase in turn.
+struct SortContext {
+  Env* env = nullptr;
+  const ExternalSortOptions* options = nullptr;
+
+  /// Unique per-sort scratch directory under options->temp_dir.
+  std::string sort_dir;
+
+  /// Worker pool for the pipelined features; null = fully serial. Either
+  /// borrowed from an Executor (shared mode, the default) or owned below
+  /// (the dedicated-pool opt-out).
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool;
+
+  /// Runs produced by the run-generation phase.
+  std::vector<RunInfo> runs;
+
+  /// Merge configuration produced by the planning phase.
+  MergeOptions merge_plan;
+
+  /// Timing and volume accumulated across phases.
+  ExternalSortResult result;
+};
+
+/// Resolves the execution resources of one sort: creates the unique
+/// sort_dir and picks the pool — none (serial), borrowed from the
+/// configured Executor, or a dedicated per-sort pool.
+Status PrepareSortContext(Env* env, const ExternalSortOptions& options,
+                          SortContext* context);
+
+/// One phase of the external-sort pipeline. Phases are command objects over
+/// a SortContext, so a scheduler (e.g. shard/ShardedSorter) can compose and
+/// dispatch whole per-shard pipelines onto an Executor.
+class SortPhase {
+ public:
+  virtual ~SortPhase() = default;
+
+  virtual const char* name() const = 0;
+
+  virtual Status Run(SortContext* context) = 0;
+};
+
+/// Phase 1: consumes the input through the configured run-generation
+/// algorithm, writing runs into sort_dir (async-flushed when the context
+/// has a pool) and recording run stats plus the phase time.
+class RunGenerationPhase : public SortPhase {
+ public:
+  /// Does not take ownership of `source`.
+  explicit RunGenerationPhase(RecordSource* source) : source_(source) {}
+
+  const char* name() const override { return "run-generation"; }
+  Status Run(SortContext* context) override;
+
+ private:
+  RecordSource* source_;
+};
+
+/// Phase 2: derives the merge schedule configuration (fan-in, buffers,
+/// prefetch and pool wiring) from the sort options into context->merge_plan.
+class MergePlanningPhase : public SortPhase {
+ public:
+  const char* name() const override { return "merge-planning"; }
+  Status Run(SortContext* context) override;
+};
+
+/// Phase 3: executes the planned multi-pass merge of context->runs into the
+/// output file and records merge stats plus the phase time.
+class FinalMergePhase : public SortPhase {
+ public:
+  explicit FinalMergePhase(std::string output_path)
+      : output_path_(std::move(output_path)) {}
+
+  const char* name() const override { return "final-merge"; }
+  Status Run(SortContext* context) override;
+
+ private:
+  std::string output_path_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_MERGE_SORT_PHASES_H_

@@ -1,0 +1,307 @@
+#include "shard/sharded_sorter.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "exec/executor.h"
+#include "exec/thread_pool.h"
+#include "io/record_io.h"
+#include "util/stopwatch.h"
+#include "workload/generators.h"
+
+namespace twrs {
+
+void ReservoirSampler::Add(Key key) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(key);
+    return;
+  }
+  const uint64_t slot = rng_.Uniform(seen_);
+  if (slot < capacity_) sample_[slot] = key;
+}
+
+std::vector<Key> PickSplitters(std::vector<Key> sample, size_t shards) {
+  std::vector<Key> splitters;
+  if (shards <= 1 || sample.empty()) return splitters;
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 1; i < shards; ++i) {
+    const size_t idx =
+        std::min(i * sample.size() / shards, sample.size() - 1);
+    splitters.push_back(sample[idx]);
+  }
+  splitters.erase(std::unique(splitters.begin(), splitters.end()),
+                  splitters.end());
+  return splitters;
+}
+
+namespace {
+
+/// Streams the bytes of `path` onto `out` — the concatenation step. Record
+/// files are raw key sequences, so byte-level concatenation of sorted,
+/// range-disjoint shards reproduces the serial sorter's bytes exactly.
+Status AppendFileTo(Env* env, const std::string& path, WritableFile* out,
+                    size_t block_bytes) {
+  std::unique_ptr<SequentialFile> in;
+  TWRS_RETURN_IF_ERROR(env->NewSequentialFile(path, &in));
+  std::vector<uint8_t> buffer(std::max<size_t>(block_bytes, kRecordBytes));
+  for (;;) {
+    size_t got = 0;
+    TWRS_RETURN_IF_ERROR(in->Read(buffer.data(), buffer.size(), &got));
+    if (got > 0) TWRS_RETURN_IF_ERROR(out->Append(buffer.data(), got));
+    if (got < buffer.size()) return Status::OK();
+  }
+}
+
+}  // namespace
+
+ShardedSorter::ShardedSorter(Env* env, ShardedSortOptions options)
+    : env_(env), options_(std::move(options)) {}
+
+Status ShardedSorter::Validate() const {
+  if (options_.shards < 1) {
+    return Status::InvalidArgument("shards must be at least 1");
+  }
+  if (options_.sample_size < 1) {
+    return Status::InvalidArgument("sample_size must be at least 1");
+  }
+  return Status::OK();
+}
+
+Status ShardedSorter::SortUnsharded(RecordSource* source,
+                                    const std::string& output_path,
+                                    ShardedSortResult* result) {
+  ShardedSortResult local;
+  Stopwatch total_watch;
+  ExternalSortOptions sort_options = options_.sort;
+  if (sort_options.parallel.executor == nullptr) {
+    sort_options.parallel.executor = options_.executor;
+  }
+  ExternalSorter sorter(env_, sort_options);
+  ExternalSortResult sort_result;
+  TWRS_RETURN_IF_ERROR(sorter.Sort(source, output_path, &sort_result));
+  local.input_records = sort_result.output_records;
+  local.output_records = sort_result.output_records;
+  local.shard_records = {sort_result.output_records};
+  local.shard_results = {sort_result};
+  local.sort_seconds = sort_result.total_seconds;
+  local.total_seconds = total_watch.ElapsedSeconds();
+  if (result != nullptr) *result = local;
+  return Status::OK();
+}
+
+Status ShardedSorter::Sort(RecordSource* source,
+                           const std::string& output_path,
+                           ShardedSortResult* result) {
+  TWRS_RETURN_IF_ERROR(Validate());
+  if (options_.shards == 1) {
+    return SortUnsharded(source, output_path, result);
+  }
+
+  Stopwatch staging_watch;
+  const std::string shard_dir =
+      options_.sort.temp_dir + "/" + UniqueScratchDirName("shard");
+  TWRS_RETURN_IF_ERROR(env_->CreateDirIfMissing(shard_dir));
+
+  // Pass 0: materialize the stream while reservoir-sampling it — a
+  // streaming input's key distribution is unknown up front.
+  const std::string staged = shard_dir + "/staging";
+  ReservoirSampler sampler(options_.sample_size, options_.sample_seed);
+  uint64_t count = 0;
+  {
+    RecordWriter writer(env_, staged, options_.split_block_bytes);
+    TWRS_RETURN_IF_ERROR(writer.status());
+    Key key;
+    while (source->Next(&key)) {
+      sampler.Add(key);
+      ++count;
+      TWRS_RETURN_IF_ERROR(writer.Append(key));
+    }
+    TWRS_RETURN_IF_ERROR(writer.Finish());
+  }
+  Status s = SortStaged(staged, /*remove_staged=*/true, shard_dir,
+                        sampler.sample(), count,
+                        staging_watch.ElapsedSeconds(), output_path, result);
+  if (!s.ok()) CleanupScratch(staged, /*remove_staged=*/true, shard_dir);
+  return s;
+}
+
+Status ShardedSorter::SortFile(const std::string& input_path,
+                               const std::string& output_path,
+                               ShardedSortResult* result) {
+  TWRS_RETURN_IF_ERROR(Validate());
+  if (options_.shards == 1) {
+    FileRecordSource source(env_, input_path, options_.sort.block_bytes);
+    TWRS_RETURN_IF_ERROR(SortUnsharded(&source, output_path, result));
+    return source.status();
+  }
+
+  Stopwatch staging_watch;
+  const std::string shard_dir =
+      options_.sort.temp_dir + "/" + UniqueScratchDirName("shard");
+  TWRS_RETURN_IF_ERROR(env_->CreateDirIfMissing(shard_dir));
+
+  // Pass 0: sample straight off the file — no staging copy needed, the
+  // partition pass below re-reads it.
+  ReservoirSampler sampler(options_.sample_size, options_.sample_seed);
+  uint64_t count = 0;
+  {
+    RecordReader reader(env_, input_path, options_.split_block_bytes);
+    TWRS_RETURN_IF_ERROR(reader.status());
+    for (;;) {
+      Key key;
+      bool eof;
+      TWRS_RETURN_IF_ERROR(reader.Next(&key, &eof));
+      if (eof) break;
+      sampler.Add(key);
+      ++count;
+    }
+  }
+  Status s = SortStaged(input_path, /*remove_staged=*/false, shard_dir,
+                        sampler.sample(), count,
+                        staging_watch.ElapsedSeconds(), output_path, result);
+  if (!s.ok()) CleanupScratch(input_path, /*remove_staged=*/false, shard_dir);
+  return s;
+}
+
+Status ShardedSorter::SortStaged(const std::string& staged_path,
+                                 bool remove_staged,
+                                 const std::string& shard_dir,
+                                 const std::vector<Key>& sample,
+                                 uint64_t input_records,
+                                 double prior_seconds,
+                                 const std::string& output_path,
+                                 ShardedSortResult* result) {
+  Stopwatch total_watch;
+  Stopwatch phase_watch;
+  ShardedSortResult local;
+  local.input_records = input_records;
+  local.splitters = PickSplitters(sample, options_.shards);
+  const size_t num_shards = local.splitters.size() + 1;
+  local.shard_records.assign(num_shards, 0);
+
+  // Partition pass: route every record to its range shard. Shard i covers
+  // [splitter[i-1], splitter[i]) — upper_bound counts the splitters <= key,
+  // so duplicate keys always land in one shard.
+  std::vector<std::string> shard_paths(num_shards);
+  {
+    std::vector<std::unique_ptr<RecordWriter>> writers(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      shard_paths[i] = shard_dir + "/shard_" + std::to_string(i);
+      writers[i] = std::make_unique<RecordWriter>(
+          env_, shard_paths[i], options_.split_block_bytes);
+      TWRS_RETURN_IF_ERROR(writers[i]->status());
+    }
+    RecordReader reader(env_, staged_path, options_.split_block_bytes);
+    TWRS_RETURN_IF_ERROR(reader.status());
+    for (;;) {
+      Key key;
+      bool eof;
+      TWRS_RETURN_IF_ERROR(reader.Next(&key, &eof));
+      if (eof) break;
+      const size_t idx = static_cast<size_t>(
+          std::upper_bound(local.splitters.begin(), local.splitters.end(),
+                           key) -
+          local.splitters.begin());
+      ++local.shard_records[idx];
+      TWRS_RETURN_IF_ERROR(writers[idx]->Append(key));
+    }
+    for (auto& writer : writers) TWRS_RETURN_IF_ERROR(writer->Finish());
+  }
+  if (remove_staged) TWRS_RETURN_IF_ERROR(env_->RemoveFile(staged_path));
+  local.split_seconds = prior_seconds + phase_watch.ElapsedSeconds();
+
+  // Concurrent per-shard sorts: each shard runs the complete external-sort
+  // phase pipeline on the executor. Nested waits (a shard's own parallel
+  // leaf merges on the same pool) are safe because TaskHandle::Wait is
+  // work-helping.
+  Executor* executor =
+      options_.executor != nullptr ? options_.executor : &Executor::Shared();
+  ThreadPool* pool = executor->pool();
+  local.shard_results.assign(num_shards, ExternalSortResult());
+  std::vector<std::string> sorted_paths(num_shards);
+  phase_watch.Reset();
+  {
+    std::vector<TaskHandle> handles(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      sorted_paths[i] = shard_dir + "/sorted_" + std::to_string(i);
+      ExternalSortOptions shard_options = options_.sort;
+      shard_options.temp_dir = shard_dir;
+      if (shard_options.parallel.executor == nullptr) {
+        shard_options.parallel.executor = executor;
+      }
+      ExternalSortResult* shard_result = &local.shard_results[i];
+      const std::string shard_path = shard_paths[i];
+      const std::string sorted_path = sorted_paths[i];
+      handles[i] = pool->Submit(
+          [this, shard_options, shard_path, sorted_path, shard_result] {
+            ExternalSorter sorter(env_, shard_options);
+            FileRecordSource shard_source(env_, shard_path,
+                                          shard_options.block_bytes);
+            Status s = sorter.Sort(&shard_source, sorted_path, shard_result);
+            if (s.ok()) s = shard_source.status();
+            return s;
+          });
+    }
+    // Collect every shard before reporting the first failure, so no task
+    // still references local state when we unwind.
+    Status first_error;
+    for (TaskHandle& handle : handles) {
+      Status s = handle.Wait();
+      if (!s.ok() && first_error.ok()) first_error = std::move(s);
+    }
+    TWRS_RETURN_IF_ERROR(first_error);
+  }
+  local.sort_seconds = phase_watch.ElapsedSeconds();
+
+  // Concatenation: shards hold disjoint, increasing ranges, so appending
+  // the sorted shard files in shard order is the final sorted output.
+  phase_watch.Reset();
+  {
+    std::unique_ptr<WritableFile> out;
+    TWRS_RETURN_IF_ERROR(env_->NewWritableFile(output_path, &out));
+    for (size_t i = 0; i < num_shards; ++i) {
+      TWRS_RETURN_IF_ERROR(AppendFileTo(env_, sorted_paths[i], out.get(),
+                                        options_.split_block_bytes));
+    }
+    TWRS_RETURN_IF_ERROR(out->Close());
+  }
+  local.concat_seconds = phase_watch.ElapsedSeconds();
+
+  for (size_t i = 0; i < num_shards; ++i) {
+    TWRS_RETURN_IF_ERROR(env_->RemoveFile(shard_paths[i]));
+    TWRS_RETURN_IF_ERROR(env_->RemoveFile(sorted_paths[i]));
+  }
+  TWRS_RETURN_IF_ERROR(env_->RemoveDir(shard_dir));
+
+  for (const ExternalSortResult& r : local.shard_results) {
+    local.output_records += r.output_records;
+  }
+  if (local.output_records != local.input_records) {
+    return Status::Corruption(
+        "sharded sort lost records: in=" +
+        std::to_string(local.input_records) +
+        " out=" + std::to_string(local.output_records));
+  }
+  local.total_seconds = prior_seconds + total_watch.ElapsedSeconds();
+  if (result != nullptr) *result = std::move(local);
+  return Status::OK();
+}
+
+void ShardedSorter::CleanupScratch(const std::string& staged_path,
+                                   bool remove_staged,
+                                   const std::string& shard_dir) {
+  // Shard/sorted paths are deterministic, so they can be re-derived even
+  // when the failure happened before they were all created. Statuses are
+  // deliberately ignored: this runs after a failure, on files that may
+  // never have existed.
+  if (remove_staged) env_->RemoveFile(staged_path);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    env_->RemoveFile(shard_dir + "/shard_" + std::to_string(i));
+    env_->RemoveFile(shard_dir + "/sorted_" + std::to_string(i));
+  }
+  env_->RemoveDir(shard_dir);
+}
+
+}  // namespace twrs

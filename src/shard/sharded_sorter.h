@@ -1,0 +1,153 @@
+#ifndef TWRS_SHARD_SHARDED_SORTER_H_
+#define TWRS_SHARD_SHARDED_SORTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/record.h"
+#include "core/record_source.h"
+#include "io/env.h"
+#include "merge/external_sorter.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace twrs {
+
+class Executor;
+
+/// Uniform reservoir sampler (Algorithm R) over a key stream: after any
+/// number of Add calls, sample() holds min(capacity, seen) keys, each seen
+/// key equally likely to be present. Deterministic for a fixed seed.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  void Add(Key key);
+
+  /// Keys offered so far.
+  uint64_t seen() const { return seen_; }
+
+  /// The current reservoir (unsorted).
+  const std::vector<Key>& sample() const { return sample_; }
+
+ private:
+  size_t capacity_;
+  Random rng_;
+  uint64_t seen_ = 0;
+  std::vector<Key> sample_;
+};
+
+/// Picks at most `shards` - 1 ascending, distinct range splitters at the
+/// quantiles of `sample` — the distribution-sort partitioning idea (§2.2)
+/// with sampled instead of assumed-known key ranges. Shard i then covers
+/// [splitter[i-1], splitter[i]) with the outer shards open-ended, so
+/// duplicates of any key always land in one shard. Heavily skewed samples
+/// collapse duplicate splitters, yielding fewer effective shards.
+std::vector<Key> PickSplitters(std::vector<Key> sample, size_t shards);
+
+/// Configuration of a sharded external sort.
+struct ShardedSortOptions {
+  /// Range shards sorted concurrently. 1 degenerates to a plain
+  /// ExternalSorter; must be at least 1.
+  size_t shards = 2;
+
+  /// Reservoir size used to pick the range splitters. Larger samples give
+  /// more even shards; must be at least 1.
+  size_t sample_size = 4096;
+
+  /// Seed of the deterministic sampling RNG.
+  uint64_t sample_seed = 1;
+
+  /// I/O buffer of the purely sequential passes the sharded path adds
+  /// (sampling/staging, partition, concatenation). Much larger than the
+  /// per-stream sort buffers: these passes stream one file end to end, so
+  /// big blocks amortize positioning cost on seek-bound disks.
+  size_t split_block_bytes = 1 << 20;
+
+  /// Per-shard external sort configuration. Its temp_dir doubles as the
+  /// sharded sorter's scratch root (a unique subdirectory is created per
+  /// Sort call), and its parallel knobs apply inside each shard's sort.
+  ExternalSortOptions sort;
+
+  /// Executor the per-shard sorts run on; null = Executor::Shared(). The
+  /// shards' own pipelined features borrow from the same executor unless
+  /// `sort.parallel` says otherwise.
+  Executor* executor = nullptr;
+};
+
+/// Breakdown of one sharded sort.
+struct ShardedSortResult {
+  uint64_t input_records = 0;
+  uint64_t output_records = 0;
+
+  /// Splitters actually used (effective shards = splitters.size() + 1).
+  std::vector<Key> splitters;
+
+  /// Records routed to each shard.
+  std::vector<uint64_t> shard_records;
+
+  /// Per-shard sort breakdowns, in shard order.
+  std::vector<ExternalSortResult> shard_results;
+
+  double split_seconds = 0.0;   ///< sampling + partition passes
+  double sort_seconds = 0.0;    ///< concurrent per-shard sorts (wall clock)
+  double concat_seconds = 0.0;  ///< sorted-shard concatenation
+  double total_seconds = 0.0;
+};
+
+/// Sorts via range sharding: samples the input to pick splitters, writes
+/// range-disjoint shard files, runs a complete external sort per shard
+/// concurrently on the executor, and concatenates the sorted shards. The
+/// output file is byte-identical to what the serial ExternalSorter produces
+/// for the same input.
+class ShardedSorter {
+ public:
+  /// Does not take ownership of `env`.
+  ShardedSorter(Env* env, ShardedSortOptions options);
+
+  /// Sorts `source` into the record file at `output_path`. Streaming inputs
+  /// are staged to a scratch file while being sampled (their range is
+  /// unknown up front), costing one extra read+write pass over SortFile.
+  Status Sort(RecordSource* source, const std::string& output_path,
+              ShardedSortResult* result);
+
+  /// Sorts the record file at `input_path` into `output_path`, sampling
+  /// directly from the file (no staging copy). The input file is left
+  /// intact.
+  Status SortFile(const std::string& input_path,
+                  const std::string& output_path, ShardedSortResult* result);
+
+  const ShardedSortOptions& options() const { return options_; }
+
+ private:
+  Status Validate() const;
+
+  /// Shared tail of both entry points: partitions `staged_path` by the
+  /// splitters picked from `sample`, sorts every shard concurrently and
+  /// concatenates into `output_path`. Removes `staged_path` when owned.
+  /// `prior_seconds` is the caller's sampling/staging time, folded into the
+  /// split and total timings.
+  Status SortStaged(const std::string& staged_path, bool remove_staged,
+                    const std::string& shard_dir,
+                    const std::vector<Key>& sample, uint64_t input_records,
+                    double prior_seconds, const std::string& output_path,
+                    ShardedSortResult* result);
+
+  /// Best-effort removal of SortStaged's scratch files after a failure, so
+  /// a failed sort does not leave up to 2x the input behind on disk.
+  void CleanupScratch(const std::string& staged_path, bool remove_staged,
+                      const std::string& shard_dir);
+
+  /// shards == 1 short-circuit: one plain external sort, no partitioning.
+  Status SortUnsharded(RecordSource* source, const std::string& output_path,
+                       ShardedSortResult* result);
+
+  Env* env_;
+  ShardedSortOptions options_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_SHARD_SHARDED_SORTER_H_

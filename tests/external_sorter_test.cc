@@ -276,5 +276,63 @@ TEST(VerifySortedFileTest, DetectsDisorder) {
   EXPECT_TRUE(VerifySortedFile(&env, "f", nullptr, nullptr).IsCorruption());
 }
 
+TEST(VerifySortedFileTest, DetectsDisorderedTailAfterLongPrefix) {
+  MemEnv env;
+  std::vector<Key> keys;
+  for (Key k = 0; k < 1000; ++k) keys.push_back(k);
+  keys.push_back(500);  // out of order only at the very end
+  ASSERT_TWRS_OK(WriteAllRecords(&env, "f", keys));
+  EXPECT_TRUE(VerifySortedFile(&env, "f", nullptr, nullptr).IsCorruption());
+}
+
+TEST(VerifySortedFileTest, EmptyFile) {
+  MemEnv env;
+  ASSERT_TWRS_OK(WriteAllRecords(&env, "f", {}));
+  uint64_t count = 99;
+  KeyChecksum checksum;
+  ASSERT_TWRS_OK(VerifySortedFile(&env, "f", &count, &checksum));
+  EXPECT_EQ(count, 0u);
+  EXPECT_TRUE(checksum == KeyChecksum());
+}
+
+TEST(VerifySortedFileTest, SingleRecord) {
+  MemEnv env;
+  ASSERT_TWRS_OK(WriteAllRecords(&env, "f", {-7}));
+  uint64_t count = 0;
+  KeyChecksum checksum;
+  ASSERT_TWRS_OK(VerifySortedFile(&env, "f", &count, &checksum));
+  EXPECT_EQ(count, 1u);
+  EXPECT_TRUE(checksum == ChecksumOf({-7}));
+}
+
+TEST(VerifySortedFileTest, DuplicateKeysAreSorted) {
+  MemEnv env;
+  ASSERT_TWRS_OK(WriteAllRecords(&env, "f", {1, 1, 1, 2, 2}));
+  uint64_t count = 0;
+  ASSERT_TWRS_OK(VerifySortedFile(&env, "f", &count, nullptr));
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(VerifySortedFileTest, MissingFileIsAnError) {
+  MemEnv env;
+  EXPECT_FALSE(VerifySortedFile(&env, "absent", nullptr, nullptr).ok());
+}
+
+TEST(VerifySortedFileTest, TruncatedTailIsCorruption) {
+  MemEnv env;
+  // Two whole records followed by a torn half-record, as a crashed writer
+  // would leave behind.
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TWRS_OK(env.NewWritableFile("f", &file));
+  uint8_t record[kRecordBytes];
+  EncodeKey(1, record);
+  ASSERT_TWRS_OK(file->Append(record, kRecordBytes));
+  EncodeKey(2, record);
+  ASSERT_TWRS_OK(file->Append(record, kRecordBytes));
+  ASSERT_TWRS_OK(file->Append(record, kRecordBytes / 2));
+  ASSERT_TWRS_OK(file->Close());
+  EXPECT_TRUE(VerifySortedFile(&env, "f", nullptr, nullptr).IsCorruption());
+}
+
 }  // namespace
 }  // namespace twrs
