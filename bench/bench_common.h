@@ -304,6 +304,8 @@ inline TimedSort RunTimedSort(const TimedSortSpec& spec) {
       .Num("total_seconds", timed.total_seconds)
       .Num("sim_run_gen_seconds", timed.sim_run_gen_seconds)
       .Num("sim_total_seconds", timed.sim_total_seconds)
+      .Int("bytes_read", result.bytes_read)
+      .Int("bytes_written", result.bytes_written)
       .Num("records_per_second",
            timed.total_seconds > 0
                ? static_cast<double>(spec.records) / timed.total_seconds

@@ -79,6 +79,7 @@ void Run() {
     sort_options.parallel.prefetch_blocks = 2;
 
     double total = 0.0, split = 0.0, sort = 0.0, concat = 0.0;
+    uint64_t bytes_read = 0, bytes_written = 0;
     if (shards == 0) {
       ExternalSorter sorter(&env, sort_options);
       FileRecordSource source(&env, input_path);
@@ -88,6 +89,8 @@ void Run() {
       CheckOk(source.status(), "read input");
       total = watch.ElapsedSeconds();
       sort = result.total_seconds;
+      bytes_read = result.bytes_read;
+      bytes_written = result.bytes_written;
     } else {
       ShardedSortOptions sharded;
       sharded.shards = shards;
@@ -99,6 +102,8 @@ void Run() {
       split = result.split_seconds;
       sort = result.sort_seconds;
       concat = result.concat_seconds;
+      bytes_read = result.bytes_read;
+      bytes_written = result.bytes_written;
     }
 
     uint64_t count = 0;
@@ -134,7 +139,9 @@ void Run() {
         .Num("speedup_vs_unsharded",
              total > 0 ? baseline_seconds / total : 0.0)
         .Num("records_per_second",
-             total > 0 ? static_cast<double>(records) / total : 0.0);
+             total > 0 ? static_cast<double>(records) / total : 0.0)
+        .Int("bytes_read", bytes_read)
+        .Int("bytes_written", bytes_written);
     JsonReporter::Global().Add(entry);
   }
   CheckOk(posix.RemoveFile(input_path), "cleanup input");

@@ -1,0 +1,31 @@
+#ifndef TWRS_EXAMPLES_CLI_UTIL_H_
+#define TWRS_EXAMPLES_CLI_UTIL_H_
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace twrs {
+namespace examples {
+
+/// Strict non-negative integer parse shared by the CLI drivers: rejects
+/// signs, trailing junk and overflow instead of wrapping (strtoull
+/// happily parses "-1" to 2^64-1, which then e.g. makes ThreadPool try
+/// to reserve 2^64-1 workers).
+inline bool ParseCount(const char* v, uint64_t* out) {
+  if (v == nullptr || *v == '\0') return false;
+  for (const char* p = v; *p != '\0'; ++p) {
+    if (!isdigit(static_cast<unsigned char>(*p))) return false;
+  }
+  errno = 0;
+  const unsigned long long parsed = strtoull(v, nullptr, 10);
+  if (errno == ERANGE) return false;
+  *out = parsed;
+  return true;
+}
+
+}  // namespace examples
+}  // namespace twrs
+
+#endif  // TWRS_EXAMPLES_CLI_UTIL_H_

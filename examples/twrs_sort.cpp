@@ -17,8 +17,10 @@
 //                                     from the shared executor — size it
 //                                     with --executor-threads
 //   --prefetch N                      read-ahead blocks per merge input
-//   --shards N                        range shards sorted concurrently on the
-//                                     shared executor (1 = unsharded, default)
+//   --shards N|auto                   range shards sorted concurrently on the
+//                                     shared executor (1 = unsharded, default);
+//                                     `auto` plans the count from the input
+//                                     size, --memory and the executor load
 //   --executor-threads N              capacity of the process-wide shared
 //                                     executor (0 = hardware concurrency)
 //   --verify                          check the output after sorting
@@ -28,15 +30,15 @@
 //   --seed N                          workload seed (default 1)
 
 #include <cctype>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "core/record.h"
+#include "examples/cli_util.h"
 #include "exec/executor.h"
 #include "io/posix_env.h"
 #include "merge/external_sorter.h"
+#include "service/shard_planner.h"
 #include "shard/sharded_sorter.h"
 #include "workload/generators.h"
 
@@ -50,20 +52,7 @@ int Usage() {
   return 2;
 }
 
-/// Strict non-negative integer parse: rejects signs, trailing junk and
-/// overflow instead of wrapping (strtoull happily parses "-1" to 2^64-1,
-/// which then e.g. makes ThreadPool try to reserve 2^64-1 workers).
-bool ParseCount(const char* v, uint64_t* out) {
-  if (v == nullptr || *v == '\0') return false;
-  for (const char* p = v; *p != '\0'; ++p) {
-    if (!isdigit(static_cast<unsigned char>(*p))) return false;
-  }
-  errno = 0;
-  const unsigned long long parsed = strtoull(v, nullptr, 10);
-  if (errno == ERANGE) return false;
-  *out = parsed;
-  return true;
-}
+using twrs::examples::ParseCount;
 
 bool ParseAlgorithm(const std::string& name, twrs::RunGenAlgorithm* out) {
   if (name == "rs") {
@@ -135,6 +124,7 @@ int main(int argc, char** argv) {
   twrs::TwoWayOptions twrs_options =
       twrs::TwoWayOptions::Recommended(options.memory_records);
   uint64_t shards = 1;
+  bool shards_auto = false;
   uint64_t executor_threads = 0;
   bool verify = false;
   bool generate = false;
@@ -191,13 +181,18 @@ int main(int argc, char** argv) {
       if (!ParseCount(next(), &v) || v > 1024) return Usage();
       options.parallel.prefetch_blocks = v;
     } else if (arg == "--shards") {
-      uint64_t v = 0;
-      if (!ParseCount(next(), &v) || v > 1024) return Usage();
-      if (v == 0) {
-        fprintf(stderr, "--shards must be at least 1 (got 0)\n");
-        return 2;
+      const char* v = next();
+      if (v != nullptr && std::string(v) == "auto") {
+        shards_auto = true;
+      } else {
+        uint64_t n = 0;
+        if (!ParseCount(v, &n) || n > 1024) return Usage();
+        if (n == 0) {
+          fprintf(stderr, "--shards must be at least 1 (got 0)\n");
+          return 2;
+        }
+        shards = n;
       }
-      shards = v;
     } else if (arg == "--executor-threads") {
       uint64_t v = 0;
       if (!ParseCount(next(), &v) || v > 1024) return Usage();
@@ -249,7 +244,31 @@ int main(int argc, char** argv) {
             "--executor-threads: the shared executor already started\n");
     return 2;
   }
-  twrs::Status s;
+  // Fail on an unusable scratch directory now, with an actionable message,
+  // instead of with an I/O error minutes into the sort.
+  twrs::Status s = twrs::PreflightTempDir(&env, options.temp_dir);
+  if (!s.ok()) {
+    fprintf(stderr, "twrs_sort: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (shards_auto) {
+    twrs::ShardPlanInputs plan_inputs;
+    uint64_t input_bytes = 0;
+    s = env.GetFileSize(positional[0], &input_bytes);
+    if (!s.ok()) {
+      fprintf(stderr, "twrs_sort: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    plan_inputs.input_records = input_bytes / twrs::kRecordBytes;
+    plan_inputs.memory_records = options.memory_records;
+    plan_inputs.executor_capacity = twrs::Executor::Shared().capacity();
+    plan_inputs.executor_inflight = twrs::Executor::Shared().inflight_tasks();
+    const twrs::ShardPlan plan = twrs::PlanShardCount(plan_inputs);
+    shards = plan.shards;
+    printf("--shards auto: planned %llu shards (%s)\n",
+           static_cast<unsigned long long>(shards),
+           twrs::ShardPlanLimitName(plan.limit));
+  }
   if (shards > 1) {
     twrs::ShardedSortOptions sharded;
     sharded.shards = shards;

@@ -1,0 +1,254 @@
+// twrs_sortd: batch driver for the SortService — the "daemon view" of the
+// library. Generates a fleet of workload files, submits them all to one
+// SortService and reports the admission/governance behavior: every job's
+// lifecycle, the (possibly shrunk) memory lease it ran under, the shard
+// count the planner picked, and the service/governor counters.
+//
+//   twrs_sortd [options]
+//
+// Options:
+//   --jobs N          jobs to submit (default 8)
+//   --records N       records per job input (default 100000)
+//   --concurrency N   max concurrently running jobs (default 2)
+//   --queue-depth N   admission queue depth (default 64)
+//   --memory N        nominal memory ask per job, records (default 64Ki)
+//   --budget N        governor capacity in records
+//                     (default 2x --memory: two full jobs' worth)
+//   --min-lease N     smallest lease the governor grants (default 4096)
+//   --shards N|auto   per-job shard policy (default auto)
+//   --max-shards N    adaptive planner ceiling (default 16)
+//   --temp-dir PATH   scratch root (default /tmp/twrs_sortd)
+//   --seed N          workload seed base (default 1)
+//   --cancel N        cancel the last N submitted jobs mid-flight
+//   --verify          verify each completed output is sorted
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "examples/cli_util.h"
+#include "exec/executor.h"
+#include "io/posix_env.h"
+#include "service/sort_service.h"
+#include "util/table_printer.h"
+#include "workload/generators.h"
+
+namespace {
+
+int Usage() {
+  fprintf(stderr,
+          "usage: twrs_sortd [options]\n"
+          "run `head -30 examples/twrs_sortd.cpp` for the option list\n");
+  return 2;
+}
+
+using twrs::examples::ParseCount;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t jobs = 8;
+  uint64_t records = 100000;
+  uint64_t concurrency = 2;
+  uint64_t queue_depth = 64;
+  uint64_t memory = 64 * 1024;
+  uint64_t budget = 0;  // 0 = 2x memory
+  uint64_t min_lease = 4096;
+  uint64_t shards = twrs::kAutoShards;
+  bool shards_auto = true;
+  uint64_t max_shards = 16;
+  uint64_t seed = 1;
+  uint64_t cancel_last = 0;
+  bool verify = false;
+  std::string temp_dir = "/tmp/twrs_sortd";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--jobs") {
+      if (!ParseCount(next(), &jobs) || jobs == 0 || jobs > 4096) {
+        return Usage();
+      }
+    } else if (arg == "--records") {
+      if (!ParseCount(next(), &records)) return Usage();
+    } else if (arg == "--concurrency") {
+      if (!ParseCount(next(), &concurrency) || concurrency == 0) {
+        return Usage();
+      }
+    } else if (arg == "--queue-depth") {
+      if (!ParseCount(next(), &queue_depth)) return Usage();
+    } else if (arg == "--memory") {
+      if (!ParseCount(next(), &memory) || memory == 0) return Usage();
+    } else if (arg == "--budget") {
+      if (!ParseCount(next(), &budget)) return Usage();
+    } else if (arg == "--min-lease") {
+      if (!ParseCount(next(), &min_lease)) return Usage();
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v != nullptr && std::string(v) == "auto") {
+        shards_auto = true;
+      } else {
+        if (!ParseCount(v, &shards) || shards == 0 || shards > 1024) {
+          return Usage();
+        }
+        shards_auto = false;
+      }
+    } else if (arg == "--max-shards") {
+      if (!ParseCount(next(), &max_shards) || max_shards == 0) {
+        return Usage();
+      }
+    } else if (arg == "--temp-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      temp_dir = v;
+    } else if (arg == "--seed") {
+      if (!ParseCount(next(), &seed)) return Usage();
+    } else if (arg == "--cancel") {
+      if (!ParseCount(next(), &cancel_last)) return Usage();
+    } else if (arg == "--verify") {
+      verify = true;
+    } else {
+      fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  twrs::PosixEnv env;
+  twrs::Status s = twrs::PreflightTempDir(&env, temp_dir);
+  if (!s.ok()) {
+    fprintf(stderr, "twrs_sortd: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const std::string work_dir =
+      temp_dir + "/" + twrs::UniqueScratchDirName("sortd");
+  s = env.CreateDirIfMissing(work_dir);
+  if (!s.ok()) {
+    fprintf(stderr, "twrs_sortd: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // A fleet of inputs across the workload datasets, so the planner and
+  // governor see heterogeneous jobs.
+  const twrs::Dataset rotation[] = {
+      twrs::Dataset::kRandom, twrs::Dataset::kMixed,
+      twrs::Dataset::kReverseSorted, twrs::Dataset::kMixedImbalanced};
+  std::vector<std::string> inputs(jobs), outputs(jobs);
+  for (uint64_t j = 0; j < jobs; ++j) {
+    inputs[j] = work_dir + "/input_" + std::to_string(j);
+    outputs[j] = work_dir + "/output_" + std::to_string(j);
+    twrs::WorkloadOptions workload;
+    workload.num_records = records;
+    workload.seed = seed + j;
+    s = twrs::WriteWorkloadToFile(&env, rotation[j % 4], workload, inputs[j]);
+    if (!s.ok()) {
+      fprintf(stderr, "twrs_sortd: generate input %llu: %s\n",
+              static_cast<unsigned long long>(j), s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  twrs::SortServiceOptions service_options;
+  service_options.max_concurrent_jobs = concurrency;
+  service_options.max_queue_depth = queue_depth;
+  service_options.max_shards = max_shards;
+  service_options.governor.capacity_records =
+      budget > 0 ? budget : 2 * memory;
+  service_options.governor.min_lease_records = min_lease;
+
+  printf("twrs_sortd: %llu jobs x %llu records, concurrency %llu, "
+         "budget %zu records (nominal ask %llu), shards %s\n",
+         static_cast<unsigned long long>(jobs),
+         static_cast<unsigned long long>(records),
+         static_cast<unsigned long long>(concurrency),
+         service_options.governor.capacity_records,
+         static_cast<unsigned long long>(memory),
+         shards_auto ? "auto" : std::to_string(shards).c_str());
+
+  std::vector<twrs::JobHandle> handles(jobs);
+  {
+    twrs::SortService service(&env, service_options);
+    for (uint64_t j = 0; j < jobs; ++j) {
+      twrs::SortJobSpec spec;
+      spec.input_path = inputs[j];
+      spec.output_path = outputs[j];
+      spec.sort.memory_records = memory;
+      spec.sort.twrs = twrs::TwoWayOptions::Recommended(memory, seed + j);
+      spec.sort.temp_dir = work_dir;
+      spec.shards = shards_auto ? twrs::kAutoShards : shards;
+      spec.sample_seed = seed + j;
+      s = service.Submit(spec, &handles[j]);
+      if (!s.ok()) {
+        fprintf(stderr, "twrs_sortd: submit job %llu: %s\n",
+                static_cast<unsigned long long>(j), s.ToString().c_str());
+        return 1;
+      }
+    }
+    for (uint64_t j = jobs - std::min(cancel_last, jobs); j < jobs; ++j) {
+      handles[j].Cancel();
+    }
+    for (uint64_t j = 0; j < jobs; ++j) handles[j].Wait();
+
+    const twrs::SortServiceStats stats = service.Stats();
+    const twrs::MemoryGovernorStats governor = service.GovernorStats();
+    twrs::TablePrinter table({"job", "state", "shards", "plan", "lease",
+                              "queue s", "total s", "records"});
+    for (uint64_t j = 0; j < jobs; ++j) {
+      const twrs::SortJobStats job = handles[j].stats();
+      table.AddRow({std::to_string(j), twrs::JobStateName(job.state),
+                    std::to_string(job.planned_shards),
+                    twrs::ShardPlanLimitName(job.plan_limit),
+                    std::to_string(job.granted_memory_records) + "/" +
+                        std::to_string(job.nominal_memory_records),
+                    twrs::TablePrinter::Num(job.queue_seconds, 3),
+                    twrs::TablePrinter::Num(job.total_seconds, 3),
+                    std::to_string(job.result.output_records)});
+    }
+    table.Print(std::cout);
+    printf("service: %llu submitted, %llu completed, %llu failed, "
+           "%llu cancelled, %llu rejected; peak queue %zu, peak running "
+           "%zu, shrunk admissions %llu\n",
+           static_cast<unsigned long long>(stats.submitted),
+           static_cast<unsigned long long>(stats.completed),
+           static_cast<unsigned long long>(stats.failed),
+           static_cast<unsigned long long>(stats.cancelled),
+           static_cast<unsigned long long>(stats.rejected),
+           stats.peak_queued, stats.peak_running,
+           static_cast<unsigned long long>(stats.shrunk_admissions));
+    printf("governor: %zu/%zu records reserved at shutdown, %llu leases "
+           "(%llu shrunk)\n",
+           governor.reserved_records, governor.capacity_records,
+           static_cast<unsigned long long>(governor.total_leases),
+           static_cast<unsigned long long>(governor.shrunk_leases));
+  }
+
+  int rc = 0;
+  for (uint64_t j = 0; j < jobs; ++j) {
+    const twrs::SortJobStats job = handles[j].stats();
+    if (job.state == twrs::JobState::kFailed) {
+      fprintf(stderr, "twrs_sortd: job %llu failed: %s\n",
+              static_cast<unsigned long long>(j),
+              job.status.ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    if (job.state != twrs::JobState::kDone) continue;
+    if (verify) {
+      uint64_t count = 0;
+      s = twrs::VerifySortedFile(&env, outputs[j], &count, nullptr);
+      if (!s.ok() || count != records) {
+        fprintf(stderr, "twrs_sortd: verify job %llu: %s (count %llu)\n",
+                static_cast<unsigned long long>(j), s.ToString().c_str(),
+                static_cast<unsigned long long>(count));
+        rc = 1;
+      }
+    }
+  }
+  if (verify && rc == 0) {
+    printf("verified: every completed output is sorted\n");
+  }
+  twrs::RemoveTreeBestEffort(&env, work_dir);
+  return rc;
+}

@@ -43,6 +43,13 @@ bool Executor::started() const {
   return !pools_.empty();
 }
 
+size_t Executor::inflight_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& entry : pools_) total += entry.second->inflight_tasks();
+  return total;
+}
+
 size_t Executor::pool_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pools_.size();

@@ -55,6 +55,12 @@ class Executor {
   /// True once any pool has been created.
   bool started() const;
 
+  /// Load gauge across every registered pool: tasks submitted but not yet
+  /// finished. Approximate (see ThreadPool::inflight_tasks); the admission
+  /// and shard-planning layers use it to avoid oversubscribing the
+  /// executor, not for exact accounting.
+  size_t inflight_tasks() const;
+
   /// Number of pools currently registered.
   size_t pool_count() const;
 

@@ -15,6 +15,13 @@ void TaskHandle::RunIfUnclaimed(const std::shared_ptr<State>& state) {
     state->fn = nullptr;
   }
   Status result = fn();
+  // The gauge must drop before kDone is visible: a waiter observing
+  // completion may destroy the pool that owns the gauge, and this thread
+  // may be a work-helping outsider the pool's destructor does not join.
+  if (state->inflight_gauge != nullptr) {
+    state->inflight_gauge->fetch_sub(1, std::memory_order_relaxed);
+    state->inflight_gauge = nullptr;
+  }
   {
     std::lock_guard<std::mutex> lock(state->mu);
     state->result = std::move(result);
@@ -58,6 +65,8 @@ TaskHandle ThreadPool::Submit(std::function<Status()> fn,
                               TaskPriority priority) {
   auto state = std::make_shared<TaskHandle::State>();
   state->fn = std::move(fn);
+  state->inflight_gauge = &inflight_;
+  inflight_.fetch_add(1, std::memory_order_relaxed);
   bool queued = false;
   {
     std::lock_guard<std::mutex> lock(mu_);

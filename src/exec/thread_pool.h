@@ -1,6 +1,7 @@
 #ifndef TWRS_EXEC_THREAD_POOL_H_
 #define TWRS_EXEC_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -42,6 +43,12 @@ class TaskHandle {
     enum Phase { kQueued, kRunning, kDone } phase = kQueued;
     std::function<Status()> fn;
     Status result;
+
+    /// Pool-load gauge this task decrements when it finishes (set by
+    /// Submit). Decremented strictly before kDone is published: once a
+    /// waiter can observe completion it may destroy the pool, and the
+    /// runner may be a work-helping outsider the destructor never joins.
+    std::atomic<uint64_t>* inflight_gauge = nullptr;
   };
 
   explicit TaskHandle(std::shared_ptr<State> state)
@@ -81,6 +88,14 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Load gauge: tasks submitted but not yet finished (queued + running,
+  /// including tasks a helper thread runs inline). Approximate by nature —
+  /// the value can change before the caller acts on it — which is all a
+  /// scheduler needs for admission and planning decisions.
+  size_t inflight_tasks() const {
+    return static_cast<size_t>(inflight_.load(std::memory_order_relaxed));
+  }
+
  private:
   void WorkerLoop();
 
@@ -90,6 +105,7 @@ class ThreadPool {
   std::deque<std::shared_ptr<TaskHandle::State>> high_queue_;
   bool stopping_ = false;
   std::vector<std::thread> threads_;
+  std::atomic<uint64_t> inflight_{0};
 };
 
 }  // namespace twrs

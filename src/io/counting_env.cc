@@ -1,0 +1,155 @@
+#include "io/counting_env.h"
+
+#include <utility>
+
+namespace twrs {
+
+namespace {
+
+class CountingWritableFile : public WritableFile {
+ public:
+  CountingWritableFile(std::unique_ptr<WritableFile> base,
+                       std::atomic<uint64_t>* counter)
+      : base_(std::move(base)), counter_(counter) {}
+
+  Status Append(const void* data, size_t n) override {
+    TWRS_RETURN_IF_ERROR(base_->Append(data, n));
+    counter_->fetch_add(n, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  std::atomic<uint64_t>* counter_;
+};
+
+class CountingSequentialFile : public SequentialFile {
+ public:
+  CountingSequentialFile(std::unique_ptr<SequentialFile> base,
+                         std::atomic<uint64_t>* counter)
+      : base_(std::move(base)), counter_(counter) {}
+
+  Status Read(void* out, size_t n, size_t* bytes_read) override {
+    TWRS_RETURN_IF_ERROR(base_->Read(out, n, bytes_read));
+    counter_->fetch_add(*bytes_read, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  std::atomic<uint64_t>* counter_;
+};
+
+class CountingRandomRWFile : public RandomRWFile {
+ public:
+  CountingRandomRWFile(std::unique_ptr<RandomRWFile> base,
+                       std::atomic<uint64_t>* read_counter,
+                       std::atomic<uint64_t>* write_counter)
+      : base_(std::move(base)),
+        read_counter_(read_counter),
+        write_counter_(write_counter) {}
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    TWRS_RETURN_IF_ERROR(base_->WriteAt(offset, data, n));
+    write_counter_->fetch_add(n, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status ReadAt(uint64_t offset, void* out, size_t n) override {
+    // ReadAt reads exactly n bytes or fails, so a success counts all of n.
+    TWRS_RETURN_IF_ERROR(base_->ReadAt(offset, out, n));
+    read_counter_->fetch_add(n, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<RandomRWFile> base_;
+  std::atomic<uint64_t>* read_counter_;
+  std::atomic<uint64_t>* write_counter_;
+};
+
+}  // namespace
+
+Status CountingEnv::NewWritableFile(const std::string& path,
+                                    std::unique_ptr<WritableFile>* out) {
+  std::unique_ptr<WritableFile> file;
+  TWRS_RETURN_IF_ERROR(base_->NewWritableFile(path, &file));
+  if (!watched_path_.empty() && path == watched_path_) {
+    watched_created_.store(true, std::memory_order_relaxed);
+  }
+  *out = std::make_unique<CountingWritableFile>(std::move(file),
+                                                &bytes_written_);
+  return Status::OK();
+}
+
+Status CountingEnv::NewSequentialFile(const std::string& path,
+                                      std::unique_ptr<SequentialFile>* out) {
+  std::unique_ptr<SequentialFile> file;
+  TWRS_RETURN_IF_ERROR(base_->NewSequentialFile(path, &file));
+  *out = std::make_unique<CountingSequentialFile>(std::move(file),
+                                                  &bytes_read_);
+  return Status::OK();
+}
+
+Status CountingEnv::NewRandomRWFile(const std::string& path,
+                                    std::unique_ptr<RandomRWFile>* out) {
+  std::unique_ptr<RandomRWFile> file;
+  TWRS_RETURN_IF_ERROR(base_->NewRandomRWFile(path, &file));
+  if (!watched_path_.empty() && path == watched_path_) {
+    watched_created_.store(true, std::memory_order_relaxed);
+  }
+  *out = std::make_unique<CountingRandomRWFile>(std::move(file), &bytes_read_,
+                                                &bytes_written_);
+  return Status::OK();
+}
+
+Status CountingEnv::ReopenRandomRWFile(const std::string& path,
+                                       std::unique_ptr<RandomRWFile>* out) {
+  std::unique_ptr<RandomRWFile> file;
+  TWRS_RETURN_IF_ERROR(base_->ReopenRandomRWFile(path, &file));
+  *out = std::make_unique<CountingRandomRWFile>(std::move(file), &bytes_read_,
+                                                &bytes_written_);
+  return Status::OK();
+}
+
+Status CountingEnv::NewRandomReadFile(const std::string& path,
+                                      std::unique_ptr<RandomRWFile>* out) {
+  std::unique_ptr<RandomRWFile> file;
+  TWRS_RETURN_IF_ERROR(base_->NewRandomReadFile(path, &file));
+  *out = std::make_unique<CountingRandomRWFile>(std::move(file), &bytes_read_,
+                                                &bytes_written_);
+  return Status::OK();
+}
+
+bool CountingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status CountingEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+Status CountingEnv::GetFileSize(const std::string& path, uint64_t* size) {
+  return base_->GetFileSize(path, size);
+}
+
+Status CountingEnv::CreateDirIfMissing(const std::string& path) {
+  return base_->CreateDirIfMissing(path);
+}
+
+Status CountingEnv::RemoveDir(const std::string& path) {
+  return base_->RemoveDir(path);
+}
+
+Status CountingEnv::ListDir(const std::string& path,
+                            std::vector<std::string>* names) {
+  return base_->ListDir(path, names);
+}
+
+}  // namespace twrs

@@ -3,6 +3,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdint>
+#include <memory>
 
 #include "io/posix_env.h"
 
@@ -12,6 +14,47 @@ std::string UniqueScratchDirName(const std::string& prefix) {
   static std::atomic<uint64_t> counter{0};
   return prefix + "_" + std::to_string(static_cast<uint64_t>(::getpid())) +
          "_" + std::to_string(counter.fetch_add(1));
+}
+
+Status Env::ListDir(const std::string& path, std::vector<std::string>* names) {
+  (void)path;
+  names->clear();
+  return Status::NotSupported("ListDir");
+}
+
+void RemoveTreeBestEffort(Env* env, const std::string& path) {
+  std::vector<std::string> names;
+  if (env->ListDir(path, &names).ok()) {
+    for (const std::string& name : names) {
+      const std::string child = path + "/" + name;
+      // A child that cannot be unlinked as a file is (or behaves as) a
+      // directory; recurse. Statuses are deliberately ignored throughout:
+      // this runs on error paths, over entries that may already be gone.
+      if (!env->RemoveFile(child).ok()) RemoveTreeBestEffort(env, child);
+    }
+  }
+  env->RemoveDir(path);
+}
+
+Status PreflightTempDir(Env* env, const std::string& temp_dir) {
+  const std::string probe =
+      temp_dir + "/" + UniqueScratchDirName("preflight");
+  Status s = env->CreateDirIfMissing(temp_dir);
+  if (s.ok()) {
+    std::unique_ptr<WritableFile> file;
+    s = env->NewWritableFile(probe, &file);
+    if (s.ok()) {
+      const uint8_t byte = 0;
+      s = file->Append(&byte, 1);
+      if (s.ok()) s = file->Close();
+      env->RemoveFile(probe);
+    }
+  }
+  if (!s.ok()) {
+    return Status::IOError("temp_dir '" + temp_dir +
+                           "' is not writable: " + s.ToString());
+  }
+  return Status::OK();
 }
 
 Env* Env::Default() {

@@ -87,9 +87,30 @@ class Env {
   /// cleanup helper: an absent or non-empty directory is OK, not an error.
   virtual Status RemoveDir(const std::string& path) = 0;
 
+  /// Lists the immediate entries (files and subdirectories) of `path`,
+  /// without "." and "..". Backends with implicit directories (MemEnv)
+  /// synthesize subdirectory names from their path map. Defaults to
+  /// NotSupported so custom Envs keep compiling; RemoveTreeBestEffort then
+  /// degrades to removing nothing.
+  virtual Status ListDir(const std::string& path,
+                         std::vector<std::string>* names);
+
   /// Returns the process-wide POSIX environment.
   static Env* Default();
 };
+
+/// Recursively removes everything under `path` and then `path` itself,
+/// ignoring errors. Error-path cleanup helper: after a failed sort the
+/// scratch directory may hold run files, intermediate merges and nested
+/// per-shard sort directories in any combination, and none of them must
+/// survive the failure.
+void RemoveTreeBestEffort(Env* env, const std::string& path);
+
+/// Verifies `temp_dir` exists (creating it if missing) and is writable by
+/// creating, writing and removing a probe file. Returns a one-line
+/// actionable error naming the directory, so a sort can fail at submission
+/// time instead of with an opaque I/O error minutes into run generation.
+Status PreflightTempDir(Env* env, const std::string& temp_dir);
 
 /// A scratch-subdirectory name no other caller will pick: the pid keeps
 /// separate processes sharing a default temp_dir apart, a process-wide

@@ -154,6 +154,30 @@ Status MemEnv::RemoveDir(const std::string&) {
   return Status::OK();
 }
 
+Status MemEnv::ListDir(const std::string& path,
+                       std::vector<std::string>* names) {
+  // Directories are implicit: an entry is the first path component after
+  // `path` + "/" of any stored file, deduplicated (map keys are sorted, so
+  // repeats of one subdirectory are adjacent).
+  names->clear();
+  const std::string prefix = path.empty() || path.back() == '/'
+                                 ? path
+                                 : path + "/";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    const std::string& file = it->first;
+    if (file.compare(0, prefix.size(), prefix) != 0) break;
+    const size_t slash = file.find('/', prefix.size());
+    const std::string name =
+        file.substr(prefix.size(), slash == std::string::npos
+                                       ? std::string::npos
+                                       : slash - prefix.size());
+    if (name.empty()) continue;
+    if (names->empty() || names->back() != name) names->push_back(name);
+  }
+  return Status::OK();
+}
+
 const std::vector<uint8_t>* MemEnv::FileContents(
     const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);

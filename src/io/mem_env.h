@@ -36,6 +36,8 @@ class MemEnv : public Env {
   Status GetFileSize(const std::string& path, uint64_t* size) override;
   Status CreateDirIfMissing(const std::string& path) override;
   Status RemoveDir(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* names) override;
 
   /// Number of files currently stored (test helper).
   size_t FileCount() const {

@@ -1,5 +1,6 @@
 #include "io/posix_env.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -226,6 +227,20 @@ Status PosixEnv::RemoveDir(const std::string& path) {
     }
     return ErrnoStatus("rmdir " + path);
   }
+  return Status::OK();
+}
+
+Status PosixEnv::ListDir(const std::string& path,
+                         std::vector<std::string>* names) {
+  names->clear();
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoStatus("opendir " + path);
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names->push_back(name);
+  }
+  ::closedir(dir);
   return Status::OK();
 }
 

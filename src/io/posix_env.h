@@ -26,6 +26,8 @@ class PosixEnv : public Env {
   Status GetFileSize(const std::string& path, uint64_t* size) override;
   Status CreateDirIfMissing(const std::string& path) override;
   Status RemoveDir(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* names) override;
 };
 
 }  // namespace twrs

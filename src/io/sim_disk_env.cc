@@ -191,4 +191,10 @@ Status SimDiskEnv::RemoveDir(const std::string& path) {
   return base_->RemoveDir(path);
 }
 
+Status SimDiskEnv::ListDir(const std::string& path,
+                           std::vector<std::string>* names) {
+  // Metadata-only, like the other directory operations: no simulated cost.
+  return base_->ListDir(path, names);
+}
+
 }  // namespace twrs

@@ -93,6 +93,8 @@ class SimDiskEnv : public Env {
   Status GetFileSize(const std::string& path, uint64_t* size) override;
   Status CreateDirIfMissing(const std::string& path) override;
   Status RemoveDir(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* names) override;
 
   DiskModel& model() { return model_; }
   const DiskModel& model() const { return model_; }

@@ -8,6 +8,7 @@
 #include "core/replacement_selection.h"
 #include "core/run_generator.h"
 #include "core/run_sink.h"
+#include "io/counting_env.h"
 #include "io/record_io.h"
 #include "merge/sort_phases.h"
 #include "util/stopwatch.h"
@@ -64,8 +65,14 @@ ExternalSorter::ExternalSorter(Env* env, ExternalSortOptions options)
 Status ExternalSorter::Sort(RecordSource* source,
                             const std::string& output_path,
                             ExternalSortResult* result) {
+  // All engine I/O (runs, intermediate merges, output) goes through a
+  // counting decorator so the result can report real byte volume. The
+  // output path is watched so the error path knows whether this sort
+  // truncated it.
+  CountingEnv env(env_);
+  env.WatchPath(output_path);
   SortContext context;
-  TWRS_RETURN_IF_ERROR(PrepareSortContext(env_, options_, &context));
+  TWRS_RETURN_IF_ERROR(PrepareSortContext(&env, options_, &context));
 
   Stopwatch total_watch;
   RunGenerationPhase run_generation(source);
@@ -73,13 +80,27 @@ Status ExternalSorter::Sort(RecordSource* source,
   FinalMergePhase final_merge(output_path);
   SortPhase* const phases[] = {&run_generation, &planning, &final_merge};
   for (SortPhase* phase : phases) {
-    TWRS_RETURN_IF_ERROR(phase->Run(&context));
+    Status s = phase->Run(&context);
+    if (!s.ok()) {
+      // A failed or cancelled sort must not leave scratch behind: the
+      // sort_dir still holds run files (and possibly intermediate merges)
+      // that no later pass will consume. An output this sort truncated is
+      // now torn and is removed too — but a pre-existing file the sort
+      // never opened is left untouched.
+      if (!options_.keep_temp_files) {
+        RemoveTreeBestEffort(&env, context.sort_dir);
+      }
+      if (env.watched_created()) env.RemoveFile(output_path);  // best-effort
+      return s;
+    }
   }
   context.result.total_seconds = total_watch.ElapsedSeconds();
 
   if (!options_.keep_temp_files) {
-    TWRS_RETURN_IF_ERROR(env_->RemoveDir(context.sort_dir));
+    TWRS_RETURN_IF_ERROR(env.RemoveDir(context.sort_dir));
   }
+  context.result.bytes_read = env.bytes_read();
+  context.result.bytes_written = env.bytes_written();
   if (result != nullptr) *result = context.result;
   return Status::OK();
 }

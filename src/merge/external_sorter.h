@@ -12,6 +12,7 @@
 #include "exec/thread_pool.h"
 #include "io/env.h"
 #include "merge/merge_plan.h"
+#include "util/cancel.h"
 #include "util/checksum.h"
 #include "util/status.h"
 
@@ -93,6 +94,12 @@ struct ExternalSortOptions {
 
   /// Pipelined/parallel execution knobs (serial by default).
   ParallelOptions parallel;
+
+  /// Cooperative cancellation: when non-null, the run-generation and merge
+  /// loops poll the token and the sort unwinds with Status::Cancelled —
+  /// scratch files removed — shortly after it fires. Must outlive the
+  /// sort; a fired token never resets, so use a fresh one per sort.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Timing and volume breakdown of one sort, mirroring the measurements of
@@ -104,6 +111,12 @@ struct ExternalSortResult {
   double merge_seconds = 0.0;
   double total_seconds = 0.0;
   uint64_t output_records = 0;
+
+  /// Engine I/O volume: bytes moved through the sorter's Env (runs written
+  /// and re-read, intermediate merges, final output). Reads of the input
+  /// RecordSource are not included — the source owns its own I/O.
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
 };
 
 /// Two-phase external mergesort (Chapter 2): a pluggable run generation

@@ -77,6 +77,9 @@ Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
   }
   tree.Build();
   while (!tree.Exhausted()) {
+    if (IsCancelled(io.cancel)) {
+      return Status::Cancelled("merge cancelled");
+    }
     const size_t w = tree.WinnerIndex();
     TWRS_RETURN_IF_ERROR(emit(tree.WinnerKey()));
     TWRS_RETURN_IF_ERROR(cursors[w]->Next());

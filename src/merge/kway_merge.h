@@ -13,6 +13,7 @@
 #include "io/env.h"
 #include "io/record_io.h"
 #include "io/reverse_run_file.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace twrs {
@@ -32,6 +33,11 @@ struct MergeIoOptions {
 
   /// Size of each half of the output writer's async double buffer.
   size_t async_buffer_bytes = kDefaultAsyncBufferBytes;
+
+  /// Cooperative cancellation: when non-null, the merge loop polls the
+  /// token every record and unwinds with Status::Cancelled once it fires.
+  /// Must outlive the merge.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Streaming cursor over one generated run: iterates its segments in order,

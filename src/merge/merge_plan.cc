@@ -34,6 +34,7 @@ Status MergeRuns(Env* env, std::vector<RunInfo> runs,
   io.block_bytes = options.block_bytes;
   io.prefetch_blocks = options.prefetch_blocks;
   io.pool = options.pool;
+  io.cancel = options.cancel;
 
   if (queue.empty()) {
     // Sorting an empty input produces an empty output file.
@@ -56,6 +57,9 @@ Status MergeRuns(Env* env, std::vector<RunInfo> runs,
   // dispatches every batch takeable at one level onto the pool at once
   // instead of merging it inline.
   while (queue.size() > options.fan_in) {
+    if (IsCancelled(options.cancel)) {
+      return Status::Cancelled("merge cancelled");
+    }
     std::vector<LeafMerge> level;
     do {
       LeafMerge leaf;

@@ -9,6 +9,7 @@
 #include "exec/thread_pool.h"
 #include "io/env.h"
 #include "io/record_io.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace twrs {
@@ -43,6 +44,11 @@ struct MergeOptions {
   /// concurrently. Batch composition matches the serial schedule exactly,
   /// so stats and output are identical to a serial merge.
   bool parallel_leaf_merges = false;
+
+  /// Cooperative cancellation: polled between merge steps and, through
+  /// MergeIoOptions, every record inside each k-way merge. Must outlive
+  /// the merge.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Merge-phase statistics.

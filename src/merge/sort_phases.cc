@@ -8,10 +8,77 @@
 
 namespace twrs {
 
+namespace {
+
+/// Truncates the input stream once the token fires, so run generation
+/// stops consuming promptly even during a fill phase that emits nothing.
+/// The sink wrapper below turns the cancellation into a Status, so the
+/// early EOF cannot masquerade as a short-but-successful sort.
+class CancellableSource : public RecordSource {
+ public:
+  CancellableSource(RecordSource* base, const CancelToken* cancel)
+      : base_(base), cancel_(cancel) {}
+
+  bool Next(Key* key) override {
+    if (IsCancelled(cancel_)) return false;
+    return base_->Next(key);
+  }
+
+ private:
+  RecordSource* base_;
+  const CancelToken* cancel_;
+};
+
+/// Forwards to the real sink but fails BeginRun/Append once the token
+/// fires — the per-record cancellation point of the run-generation loop.
+/// EndRun/Finish still forward so the base sink's protocol state stays
+/// consistent while the error unwinds.
+class CancellableSink : public RunSink {
+ public:
+  CancellableSink(RunSink* base, const CancelToken* cancel)
+      : base_(base), cancel_(cancel) {}
+
+  Status BeginRun() override {
+    if (IsCancelled(cancel_)) return CancelledStatus();
+    return base_->BeginRun();
+  }
+
+  Status Append(RunStream stream, Key key) override {
+    if (IsCancelled(cancel_)) return CancelledStatus();
+    return base_->Append(stream, key);
+  }
+
+  Status EndRun() override {
+    Status s = base_->EndRun();
+    // Mirror only the newly completed run, so FillStatsFromSink works on
+    // the wrapper without an O(runs^2) re-copy across the generation.
+    if (base_->runs().size() > runs_.size()) {
+      runs_.push_back(base_->runs().back());
+    }
+    return s;
+  }
+
+  Status Finish() override { return base_->Finish(); }
+
+ private:
+  static Status CancelledStatus() {
+    return Status::Cancelled("sort cancelled during run generation");
+  }
+
+  RunSink* base_;
+  const CancelToken* cancel_;
+};
+
+}  // namespace
+
 Status PrepareSortContext(Env* env, const ExternalSortOptions& options,
                           SortContext* context) {
   context->env = env;
   context->options = &options;
+  context->cancel = options.cancel;
+  if (IsCancelled(context->cancel)) {
+    return Status::Cancelled("sort cancelled before it started");
+  }
   context->sort_dir = options.temp_dir + "/" + UniqueScratchDirName("sort");
   TWRS_RETURN_IF_ERROR(env->CreateDirIfMissing(context->sort_dir));
 
@@ -41,9 +108,24 @@ Status RunGenerationPhase::Run(SortContext* context) {
   sink_options.pool = context->pool;
   FileRunSink sink(context->env, context->sort_dir, "sort", sink_options);
 
+  CancellableSource cancellable_source(source_, context->cancel);
+  CancellableSink cancellable_sink(&sink, context->cancel);
+  RecordSource* source = source_;
+  RunSink* out = &sink;
+  if (context->cancel != nullptr) {
+    source = &cancellable_source;
+    out = &cancellable_sink;
+  }
+
   Stopwatch watch;
   TWRS_RETURN_IF_ERROR(
-      generator->Generate(source_, &sink, &context->result.run_gen));
+      generator->Generate(source, out, &context->result.run_gen));
+  if (IsCancelled(context->cancel)) {
+    // The token fired after the last sink call (e.g. during the final
+    // heap drain): the truncated input made generation "succeed", but the
+    // job is cancelled all the same.
+    return Status::Cancelled("sort cancelled during run generation");
+  }
   context->result.run_gen_seconds = watch.ElapsedSeconds();
   context->runs = sink.runs();
   return Status::OK();
@@ -63,6 +145,7 @@ Status MergePlanningPhase::Run(SortContext* context) {
   plan.prefetch_blocks = options.parallel.prefetch_blocks;
   plan.parallel_leaf_merges =
       context->pool != nullptr && options.parallel.parallel_leaf_merges;
+  plan.cancel = context->cancel;
   context->merge_plan = plan;
   return Status::OK();
 }

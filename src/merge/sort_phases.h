@@ -11,6 +11,7 @@
 #include "io/env.h"
 #include "merge/external_sorter.h"
 #include "merge/merge_plan.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace twrs {
@@ -29,6 +30,10 @@ struct SortContext {
   /// (the dedicated-pool opt-out).
   ThreadPool* pool = nullptr;
   std::unique_ptr<ThreadPool> owned_pool;
+
+  /// Cooperative cancellation token from the sort options; polled by the
+  /// run-generation and merge phases. Null = not cancellable.
+  const CancelToken* cancel = nullptr;
 
   /// Runs produced by the run-generation phase.
   std::vector<RunInfo> runs;

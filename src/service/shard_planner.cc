@@ -1,0 +1,68 @@
+#include "service/shard_planner.h"
+
+#include <algorithm>
+
+namespace twrs {
+
+namespace {
+
+/// Target shard size as a multiple of the memory lease. With 2WRS runs
+/// averaging ~2x memory, an 8x-memory shard yields a handful of runs —
+/// one merge pass — while keeping per-shard setup cost negligible.
+constexpr uint64_t kShardMemoryMultiple = 8;
+
+}  // namespace
+
+const char* ShardPlanLimitName(ShardPlanLimit limit) {
+  switch (limit) {
+    case ShardPlanLimit::kInputFitsInMemory:
+      return "input-fits-in-memory";
+    case ShardPlanLimit::kInputSize:
+      return "input-size";
+    case ShardPlanLimit::kExecutorLoad:
+      return "executor-load";
+    case ShardPlanLimit::kMaxShards:
+      return "max-shards";
+    case ShardPlanLimit::kFixedByCaller:
+      return "fixed";
+  }
+  return "?";
+}
+
+ShardPlan PlanShardCount(const ShardPlanInputs& inputs) {
+  ShardPlan plan;
+  const size_t memory = std::max<size_t>(1, inputs.memory_records);
+  if (inputs.input_records <= memory) {
+    // One in-memory-sized sort; splitting it only adds partition passes.
+    plan.shards = 1;
+    plan.limit = ShardPlanLimit::kInputFitsInMemory;
+    return plan;
+  }
+
+  const uint64_t target_shard_records = kShardMemoryMultiple * memory;
+  const uint64_t wanted =
+      (inputs.input_records + target_shard_records - 1) / target_shard_records;
+
+  // A plan wider than the executor's free workers would only queue shard
+  // sorts behind each other; always leave room for at least one.
+  const size_t capacity = std::max<size_t>(1, inputs.executor_capacity);
+  const size_t free_workers =
+      capacity > inputs.executor_inflight ? capacity - inputs.executor_inflight
+                                          : 1;
+  const size_t max_shards = std::max<size_t>(1, inputs.max_shards);
+
+  uint64_t shards = std::max<uint64_t>(1, wanted);
+  plan.limit = ShardPlanLimit::kInputSize;
+  if (shards > free_workers) {
+    shards = free_workers;
+    plan.limit = ShardPlanLimit::kExecutorLoad;
+  }
+  if (shards > max_shards) {
+    shards = max_shards;
+    plan.limit = ShardPlanLimit::kMaxShards;
+  }
+  plan.shards = static_cast<size_t>(shards);
+  return plan;
+}
+
+}  // namespace twrs

@@ -1,0 +1,60 @@
+#ifndef TWRS_SERVICE_SHARD_PLANNER_H_
+#define TWRS_SERVICE_SHARD_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace twrs {
+
+/// Inputs of one adaptive shard-count decision.
+struct ShardPlanInputs {
+  /// Records to sort (from the input file size for file sorts).
+  uint64_t input_records = 0;
+
+  /// Run-generation memory the job actually holds — its MemoryGovernor
+  /// lease, not the nominal ask.
+  size_t memory_records = 0;
+
+  /// Executor worker count and its current load (tasks submitted but not
+  /// yet finished), from Executor::capacity() / inflight_tasks().
+  size_t executor_capacity = 1;
+  size_t executor_inflight = 0;
+
+  /// Hard ceiling on the plan (service/CLI policy).
+  size_t max_shards = 16;
+};
+
+/// Why PlanShardCount stopped where it did (surfaced in service stats and
+/// the twrs_sortd report, and pinned down by tests).
+enum class ShardPlanLimit {
+  kInputFitsInMemory,  ///< 1 shard: sharding an in-memory sort is overhead
+  kInputSize,          ///< data wanted this many shards and got them
+  kExecutorLoad,       ///< clipped to the executor's free workers
+  kMaxShards,          ///< clipped to the configured ceiling
+  kFixedByCaller,      ///< the planner never ran: the spec pinned a count
+};
+
+const char* ShardPlanLimitName(ShardPlanLimit limit);
+
+/// An adaptive shard-count decision.
+struct ShardPlan {
+  size_t shards = 1;
+  ShardPlanLimit limit = ShardPlanLimit::kInputFitsInMemory;
+};
+
+/// Picks the shard count for one sort from the input size, the memory
+/// lease and the executor's current load — the replacement for a fixed
+/// `--shards` value.
+///
+/// Rationale: each shard runs a whole external sort whose run-generation
+/// quality is a function of its memory (Chapter 6), so shards are sized at
+/// a small multiple of the lease — big enough that replacement selection's
+/// long runs still amortize the per-shard setup, small enough that a
+/// shard's merge stays a single pass. The count is then clipped to the
+/// executor's free workers (a plan wider than the worker set just queues)
+/// and the configured ceiling.
+ShardPlan PlanShardCount(const ShardPlanInputs& inputs);
+
+}  // namespace twrs
+
+#endif  // TWRS_SERVICE_SHARD_PLANNER_H_

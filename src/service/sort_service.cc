@@ -1,0 +1,439 @@
+#include "service/sort_service.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/record.h"
+#include "exec/executor.h"
+
+namespace twrs {
+
+namespace internal {
+
+/// Wake-up channel between JobHandles and their service. Handles may
+/// outlive the service, so Cancel cannot dereference a raw back-pointer:
+/// the link is shared, its `service` field is nulled under `mu` at the
+/// start of Shutdown, and a Cancel that loses that race simply skips the
+/// wake-up (Shutdown finalizes every job itself). A Cancel that wins it
+/// holds `mu` through the wake-up, which blocks Shutdown — and therefore
+/// destruction — until the service call returns.
+struct ServiceLink {
+  std::mutex mu;
+  SortService* service = nullptr;
+};
+
+/// Shared state of one job, owned jointly by the service (queue, scheduler,
+/// executor task) and every JobHandle copy.
+struct SortJob {
+  SortJobSpec spec;
+  CancelToken cancel;
+  Stopwatch submitted_at;
+
+  /// Wake-up channel for JobHandle::Cancel (see ServiceLink).
+  std::shared_ptr<ServiceLink> link;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  Status status;
+  size_t granted_memory_records = 0;
+  size_t planned_shards = 0;
+  ShardPlanLimit plan_limit = ShardPlanLimit::kInputFitsInMemory;
+  double queue_seconds = 0.0;
+  double total_seconds = 0.0;
+  ShardedSortResult result;
+};
+
+namespace {
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+}  // namespace
+
+}  // namespace internal
+
+using internal::SortJob;
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kAdmitted:
+      return "admitted";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+JobHandle::JobHandle(std::shared_ptr<SortJob> job) : job_(std::move(job)) {}
+
+JobHandle::~JobHandle() = default;
+
+Status JobHandle::Wait() {
+  if (job_ == nullptr) return Status::OK();
+  std::unique_lock<std::mutex> lock(job_->mu);
+  job_->cv.wait(lock, [this] { return internal::IsTerminal(job_->state); });
+  return job_->status;
+}
+
+void JobHandle::Cancel() {
+  if (job_ == nullptr) return;
+  job_->cancel.Cancel();
+  std::shared_ptr<internal::ServiceLink> link;
+  {
+    std::lock_guard<std::mutex> lock(job_->mu);
+    if (internal::IsTerminal(job_->state)) return;
+    link = job_->link;
+  }
+  if (link == nullptr) return;
+  std::lock_guard<std::mutex> lock(link->mu);
+  if (link->service != nullptr) link->service->OnJobCancelled();
+}
+
+JobState JobHandle::state() const {
+  if (job_ == nullptr) return JobState::kCancelled;
+  std::lock_guard<std::mutex> lock(job_->mu);
+  return job_->state;
+}
+
+SortJobStats JobHandle::stats() const {
+  SortJobStats stats;
+  if (job_ == nullptr) return stats;
+  std::lock_guard<std::mutex> lock(job_->mu);
+  stats.state = job_->state;
+  stats.status = job_->status;
+  stats.nominal_memory_records = job_->spec.sort.memory_records;
+  stats.granted_memory_records = job_->granted_memory_records;
+  stats.planned_shards = job_->planned_shards;
+  stats.plan_limit = job_->plan_limit;
+  stats.queue_seconds = job_->queue_seconds;
+  stats.total_seconds = job_->total_seconds;
+  stats.result = job_->result;
+  return stats;
+}
+
+SortService::SortService(Env* env, SortServiceOptions options)
+    : env_(env),
+      options_(options),
+      governor_(options.governor),
+      executor_(options.executor != nullptr ? options.executor
+                                            : &Executor::Shared()),
+      link_(std::make_shared<internal::ServiceLink>()) {
+  options_.max_concurrent_jobs =
+      std::max<size_t>(1, options_.max_concurrent_jobs);
+  // Depth 0 would reject every Submit; the smallest useful queue is 1.
+  options_.max_queue_depth = std::max<size_t>(1, options_.max_queue_depth);
+  link_->service = this;
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+SortService::~SortService() { Shutdown(); }
+
+Status SortService::Submit(const SortJobSpec& spec, JobHandle* handle) {
+  if (spec.input_path.empty() || spec.output_path.empty()) {
+    return Status::InvalidArgument(
+        "job needs both an input_path and an output_path");
+  }
+  if (spec.sort.memory_records == 0) {
+    return Status::InvalidArgument("memory_records must be positive");
+  }
+  if (!env_->FileExists(spec.input_path)) {
+    return Status::NotFound("input file " + spec.input_path +
+                            " does not exist");
+  }
+  // Catch an unusable scratch directory at submission time, not minutes
+  // into run generation. Probing costs a handful of filesystem calls, so
+  // a directory that already passed is not re-probed on every Submit of
+  // a burst.
+  bool preflight_needed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    preflight_needed = spec.sort.temp_dir != preflighted_temp_dir_;
+  }
+  if (preflight_needed) {
+    TWRS_RETURN_IF_ERROR(PreflightTempDir(env_, spec.sort.temp_dir));
+    std::lock_guard<std::mutex> lock(mu_);
+    preflighted_temp_dir_ = spec.sort.temp_dir;
+  }
+
+  auto job = std::make_shared<SortJob>();
+  job->spec = spec;
+  job->spec.sort.cancel = nullptr;  // the job's own token is authoritative
+  job->link = link_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ++stats_.rejected;
+      return Status::Busy("sort service is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      ++stats_.rejected;
+      return Status::Busy(
+          "admission queue full (depth " +
+          std::to_string(options_.max_queue_depth) + ")");
+    }
+    ++stats_.submitted;
+    queue_.push_back(job);
+    stats_.peak_queued = std::max(stats_.peak_queued, queue_.size());
+  }
+  scheduler_cv_.notify_one();
+  if (handle != nullptr) *handle = JobHandle(std::move(job));
+  return Status::OK();
+}
+
+void SortService::SchedulerLoop() {
+  for (;;) {
+    std::shared_ptr<SortJob> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      scheduler_cv_.wait(lock, [this] {
+        if (stopping_) return true;
+        if (queue_.empty()) return false;
+        if (running_ < options_.max_concurrent_jobs) return true;
+        // Cancelled jobs are finalized even at full concurrency.
+        for (const auto& queued : queue_) {
+          if (queued->cancel.cancelled()) return true;
+        }
+        return false;
+      });
+      if (stopping_) return;
+      if (!queue_.empty() && running_ < options_.max_concurrent_jobs) {
+        job = queue_.front();
+        queue_.pop_front();
+        admitting_ = job;
+      }
+    }
+    // Jobs cancelled while queued never admit; finalize them without
+    // waiting for a running slot. (OnJobCancelled also sweeps, so a
+    // cancelled job is finalized even while this thread is blocked in
+    // Reserve below — this sweep catches tokens fired without a handle
+    // wake-up.)
+    SweepCancelledQueuedJobs();
+    if (job == nullptr) continue;
+
+    // Admission: block for a (possibly shrunk) memory lease. FIFO both
+    // here and inside the governor, so job order is submission order.
+    MemoryLease lease;
+    Status reserve_status = governor_.Reserve(job->spec.sort.memory_records,
+                                              &lease, &job->cancel);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      admitting_.reset();
+    }
+    if (!reserve_status.ok()) {
+      FinishJob(job,
+                reserve_status.IsCancelled() ? JobState::kCancelled
+                                             : JobState::kFailed,
+                std::move(reserve_status), /*was_running=*/false);
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->state = JobState::kAdmitted;
+      job->granted_memory_records = lease.records();
+      job->queue_seconds = job->submitted_at.ElapsedSeconds();
+    }
+
+    // Plan step: fixed shard count from the spec, or adaptive from input
+    // size, the lease actually granted and the executor's current load.
+    ShardPlan plan;
+    if (job->spec.shards != kAutoShards) {
+      plan.shards = job->spec.shards;
+      plan.limit = ShardPlanLimit::kFixedByCaller;
+    } else {
+      ShardPlanInputs inputs;
+      uint64_t input_bytes = 0;
+      env_->GetFileSize(job->spec.input_path, &input_bytes);  // 0 on error
+      inputs.input_records = input_bytes / kRecordBytes;
+      inputs.memory_records = lease.records();
+      inputs.executor_capacity = executor_->capacity();
+      inputs.executor_inflight = executor_->inflight_tasks();
+      inputs.max_shards = options_.max_shards;
+      plan = PlanShardCount(inputs);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (lease.records() < job->spec.sort.memory_records) {
+        ++stats_.shrunk_admissions;
+      }
+      ++running_;
+      stats_.peak_running = std::max(stats_.peak_running, running_);
+    }
+    // std::function needs copyable captures; the move-only lease rides in
+    // a shared_ptr.
+    auto shared_lease = std::make_shared<MemoryLease>(std::move(lease));
+    executor_->pool()->Submit([this, job, shared_lease, plan] {
+      RunJob(job, shared_lease, plan);
+      return Status::OK();
+    });
+  }
+}
+
+void SortService::RunJob(std::shared_ptr<SortJob> job,
+                         std::shared_ptr<MemoryLease> lease, ShardPlan plan) {
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->state = JobState::kRunning;
+    job->planned_shards = plan.shards;
+    job->plan_limit = plan.limit;
+  }
+
+  ShardedSortOptions sharded;
+  sharded.shards = std::max<size_t>(1, plan.shards);
+  sharded.sample_size = job->spec.sample_size;
+  sharded.sample_seed = job->spec.sample_seed;
+  sharded.sort = job->spec.sort;
+  sharded.sort.memory_records = lease->records();  // the governed budget
+  sharded.sort.cancel = &job->cancel;
+  sharded.executor = executor_;
+  if (sharded.sort.parallel.executor == nullptr &&
+      !sharded.sort.parallel.dedicated_pool) {
+    sharded.sort.parallel.executor = executor_;
+  }
+
+  ShardedSorter sorter(env_, sharded);
+  ShardedSortResult result;
+  Status status =
+      sorter.SortFile(job->spec.input_path, job->spec.output_path, &result);
+  lease->Release();  // before finalizing: a woken waiter must see the budget
+
+  JobState terminal = JobState::kDone;
+  if (status.IsCancelled()) {
+    terminal = JobState::kCancelled;
+  } else if (!status.ok()) {
+    terminal = JobState::kFailed;
+  } else {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->result = std::move(result);
+  }
+  FinishJob(job, terminal, std::move(status), /*was_running=*/true);
+}
+
+void SortService::FinishJob(const std::shared_ptr<SortJob>& job,
+                            JobState state, Status status, bool was_running) {
+  // Outcome counters first: once the job's waiters wake, a Stats() call
+  // must already see this job counted.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state) {
+      case JobState::kDone:
+        ++stats_.completed;
+        break;
+      case JobState::kCancelled:
+        ++stats_.cancelled;
+        break;
+      default:
+        ++stats_.failed;
+        break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->state = state;
+    job->status = std::move(status);
+    job->total_seconds = job->submitted_at.ElapsedSeconds();
+  }
+  job->cv.notify_all();
+  // The running slot is given back last, with the notifies under the lock:
+  // running_ == 0 releases ~SortService, so this must be FinishJob's final
+  // touch of the service.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (was_running) --running_;
+    scheduler_cv_.notify_all();
+    drained_cv_.notify_all();
+  }
+}
+
+void SortService::SweepCancelledQueuedJobs() {
+  std::vector<std::shared_ptr<SortJob>> cancelled_jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if ((*it)->cancel.cancelled()) {
+        cancelled_jobs.push_back(*it);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& cancelled : cancelled_jobs) {
+    FinishJob(cancelled, JobState::kCancelled,
+              Status::Cancelled("job cancelled while queued"),
+              /*was_running=*/false);
+  }
+}
+
+void SortService::OnJobCancelled() {
+  // Finalize cancelled queued jobs right here on the caller's thread: the
+  // scheduler may be blocked in a Reserve for a different job for
+  // arbitrarily long, and a cancelled queued job needs no resources to
+  // reach its terminal state.
+  SweepCancelledQueuedJobs();
+  governor_.WakeWaiters();
+  scheduler_cv_.notify_all();
+}
+
+void SortService::Shutdown() {
+  // Sever the JobHandle::Cancel wake-up channel first: once the link is
+  // nulled no handle can re-enter the service, and a Cancel already past
+  // the null check finishes before this lock is granted.
+  {
+    std::lock_guard<std::mutex> lock(link_->mu);
+    link_->service = nullptr;
+  }
+  std::deque<std::shared_ptr<SortJob>> leftover;
+  std::shared_ptr<SortJob> admitting;
+  bool already_stopping;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    already_stopping = stopping_;
+    stopping_ = true;
+    leftover.swap(queue_);
+    admitting = admitting_;
+  }
+  scheduler_cv_.notify_all();
+  // The job mid-admission unwinds out of its blocking Reserve.
+  if (admitting != nullptr) admitting->cancel.Cancel();
+  governor_.WakeWaiters();
+  if (scheduler_.joinable()) scheduler_.join();
+
+  if (!already_stopping) {
+    for (const auto& job : leftover) {
+      job->cancel.Cancel();
+      FinishJob(job, JobState::kCancelled,
+                Status::Cancelled("sort service shut down"),
+                /*was_running=*/false);
+    }
+  }
+
+  // Running jobs finish on their own (or unwind from their cancellation
+  // points if the caller cancelled them); wait them out so no executor
+  // task references this service after destruction.
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return running_ == 0; });
+}
+
+SortServiceStats SortService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SortServiceStats stats = stats_;
+  stats.queued = queue_.size();
+  stats.running = running_;
+  return stats;
+}
+
+}  // namespace twrs

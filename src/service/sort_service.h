@@ -1,0 +1,252 @@
+#ifndef TWRS_SERVICE_SORT_SERVICE_H_
+#define TWRS_SERVICE_SORT_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "io/env.h"
+#include "merge/external_sorter.h"
+#include "service/memory_governor.h"
+#include "service/shard_planner.h"
+#include "shard/sharded_sorter.h"
+#include "util/cancel.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace twrs {
+
+class Executor;
+class SortService;
+
+/// SortJobSpec::shards value asking the service to pick the shard count
+/// adaptively (PlanShardCount over input size, lease and executor load).
+inline constexpr size_t kAutoShards = 0;
+
+/// One sort job: a record file sorted into an output file under the
+/// service's memory governance.
+struct SortJobSpec {
+  std::string input_path;
+  std::string output_path;
+
+  /// Per-job sort configuration. `memory_records` is the job's *nominal*
+  /// memory ask — the MemoryGovernor may grant less under load. The
+  /// `cancel` field is ignored: cancellation goes through JobHandle, which
+  /// owns the job's token.
+  ExternalSortOptions sort;
+
+  /// kAutoShards = plan adaptively; 1 = plain unsharded sort; otherwise a
+  /// fixed shard count.
+  size_t shards = kAutoShards;
+
+  /// Splitter sampling knobs of the sharded path.
+  size_t sample_size = 4096;
+  uint64_t sample_seed = 1;
+};
+
+/// Lifecycle of a job: Submit enqueues it (kQueued); the scheduler admits
+/// it once a memory lease is granted (kAdmitted), dispatches it onto the
+/// executor (kRunning) and it terminates as exactly one of kDone, kFailed
+/// or kCancelled.
+enum class JobState {
+  kQueued,
+  kAdmitted,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+const char* JobStateName(JobState state);
+
+/// Snapshot of one job's progress and outcome.
+struct SortJobStats {
+  JobState state = JobState::kQueued;
+  Status status;
+
+  size_t nominal_memory_records = 0;
+  size_t granted_memory_records = 0;  ///< the lease; < nominal when shrunk
+  size_t planned_shards = 0;
+  ShardPlanLimit plan_limit = ShardPlanLimit::kInputFitsInMemory;
+
+  double queue_seconds = 0.0;  ///< submission → admission (lease granted)
+  double total_seconds = 0.0;  ///< submission → terminal state
+
+  /// Sort breakdown; valid when state == kDone. Unsharded jobs report one
+  /// shard.
+  ShardedSortResult result;
+};
+
+namespace internal {
+struct ServiceLink;
+struct SortJob;
+}  // namespace internal
+
+/// Caller's reference to a submitted job. Copyable; all copies refer to
+/// the same job. Wait/state/stats stay valid after the service finished
+/// the job, even once the service itself is gone (every job is finalized
+/// by Shutdown, so a handle never refers to a live job of a dead service).
+class JobHandle {
+ public:
+  JobHandle() = default;
+  ~JobHandle();
+  JobHandle(const JobHandle&) = default;
+  JobHandle& operator=(const JobHandle&) = default;
+  JobHandle(JobHandle&&) noexcept = default;
+  JobHandle& operator=(JobHandle&&) noexcept = default;
+
+  bool valid() const { return job_ != nullptr; }
+
+  /// Blocks until the job reaches a terminal state; returns its Status.
+  /// OK for kDone, the failure for kFailed, Cancelled for kCancelled.
+  Status Wait();
+
+  /// Requests cooperative cancellation: a queued job is dropped at
+  /// admission, a running job unwinds from its next cancellation point.
+  /// Wait() still must be called to observe the terminal state.
+  void Cancel();
+
+  JobState state() const;
+  SortJobStats stats() const;
+
+ private:
+  friend class SortService;
+  explicit JobHandle(std::shared_ptr<internal::SortJob> job);
+
+  std::shared_ptr<internal::SortJob> job_;
+};
+
+/// Configuration of a SortService.
+struct SortServiceOptions {
+  /// Jobs running concurrently (admission gate, independent of the
+  /// executor's worker count).
+  size_t max_concurrent_jobs = 2;
+
+  /// Jobs waiting for admission before Submit rejects with Busy.
+  size_t max_queue_depth = 64;
+
+  /// Ceiling of the adaptive shard planner.
+  size_t max_shards = 16;
+
+  /// Process-wide memory budget the jobs' leases come from.
+  MemoryGovernorOptions governor;
+
+  /// Executor jobs (and their shard sorts and pipelined features) run on;
+  /// null = Executor::Shared(). Must outlive the service.
+  Executor* executor = nullptr;
+};
+
+/// Aggregate service counters (snapshot).
+struct SortServiceStats {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;  ///< Submit refused: queue full or shutting down
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
+
+  /// Jobs admitted with a lease below their nominal memory ask.
+  uint64_t shrunk_admissions = 0;
+
+  size_t queued = 0;   ///< currently waiting for admission
+  size_t running = 0;  ///< currently admitted or running
+  size_t peak_queued = 0;
+  size_t peak_running = 0;
+};
+
+/// Long-running multi-tenant sort scheduler: Submit returns immediately
+/// with a JobHandle; a scheduler thread admits queued jobs FIFO under two
+/// gates — the concurrency limit and a MemoryGovernor lease (shrunk under
+/// load, so admission never stalls behind an oversized ask) — plans the
+/// shard count adaptively, and dispatches each job's whole sort onto the
+/// executor. Destruction (or Shutdown) stops intake, cancels queued jobs
+/// and drains running ones.
+///
+/// Thread-safe: Submit/Stats may be called from any thread.
+class SortService {
+ public:
+  /// Does not take ownership of `env`, which must be safe for concurrent
+  /// use (PosixEnv, MemEnv and SimDiskEnv all are) and outlive the
+  /// service.
+  SortService(Env* env, SortServiceOptions options);
+
+  /// Calls Shutdown().
+  ~SortService();
+
+  SortService(const SortService&) = delete;
+  SortService& operator=(const SortService&) = delete;
+
+  /// Validates the spec (paths present, input exists, temp_dir writable —
+  /// failing here instead of mid-sort), enqueues the job and returns a
+  /// handle to it. Busy when the admission queue is full or the service
+  /// is shutting down.
+  Status Submit(const SortJobSpec& spec, JobHandle* handle);
+
+  /// Stops intake, finalizes still-queued jobs as cancelled and waits for
+  /// running jobs to finish. Idempotent.
+  void Shutdown();
+
+  SortServiceStats Stats() const;
+  MemoryGovernorStats GovernorStats() const { return governor_.Stats(); }
+
+  const SortServiceOptions& options() const { return options_; }
+
+ private:
+  friend class JobHandle;
+
+  void SchedulerLoop();
+
+  /// Runs one admitted job on the executor: plan already fixed, lease
+  /// held; releases the lease and finalizes the job when done.
+  void RunJob(std::shared_ptr<internal::SortJob> job,
+              std::shared_ptr<MemoryLease> lease, ShardPlan plan);
+
+  /// Moves a job to `state`, records `status`, notifies waiters and
+  /// updates the service counters. `was_running` distinguishes jobs that
+  /// held a running slot from ones finalized straight out of the queue.
+  void FinishJob(const std::shared_ptr<internal::SortJob>& job,
+                 JobState state, Status status, bool was_running);
+
+  /// Removes jobs whose token fired while still queued and finalizes
+  /// them as cancelled. Called by the scheduler and, through
+  /// OnJobCancelled, directly on the cancelling thread.
+  void SweepCancelledQueuedJobs();
+
+  /// JobHandle::Cancel entry point: finalizes cancelled queued jobs and
+  /// wakes the scheduler and the governor so a blocked admission observes
+  /// the fired token promptly.
+  void OnJobCancelled();
+
+  Env* env_;
+  SortServiceOptions options_;
+  MemoryGovernor governor_;
+  Executor* executor_;
+
+  /// Wake-up channel shared with every job's handles; severed (service
+  /// pointer nulled) at the start of Shutdown so handles that outlive the
+  /// service cannot reach into it.
+  std::shared_ptr<internal::ServiceLink> link_;
+
+  mutable std::mutex mu_;
+  std::condition_variable scheduler_cv_;  ///< queue/capacity/stop changes
+  std::condition_variable drained_cv_;    ///< running_ reached zero
+  std::deque<std::shared_ptr<internal::SortJob>> queue_;
+  /// Job popped by the scheduler but still waiting for its lease; Shutdown
+  /// cancels it so the blocking Reserve unwinds.
+  std::shared_ptr<internal::SortJob> admitting_;
+  size_t running_ = 0;
+  bool stopping_ = false;
+  SortServiceStats stats_;
+  /// Last temp_dir that passed its submission preflight; identical
+  /// directories in a burst of submissions are not re-probed.
+  std::string preflighted_temp_dir_;
+
+  std::thread scheduler_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_SERVICE_SORT_SERVICE_H_

@@ -42,11 +42,14 @@ namespace {
 /// files are raw key sequences, so byte-level concatenation of sorted,
 /// range-disjoint shards reproduces the serial sorter's bytes exactly.
 Status AppendFileTo(Env* env, const std::string& path, WritableFile* out,
-                    size_t block_bytes) {
+                    size_t block_bytes, const CancelToken* cancel) {
   std::unique_ptr<SequentialFile> in;
   TWRS_RETURN_IF_ERROR(env->NewSequentialFile(path, &in));
   std::vector<uint8_t> buffer(std::max<size_t>(block_bytes, kRecordBytes));
   for (;;) {
+    if (IsCancelled(cancel)) {
+      return Status::Cancelled("sharded sort cancelled during concatenation");
+    }
     size_t got = 0;
     TWRS_RETURN_IF_ERROR(in->Read(buffer.data(), buffer.size(), &got));
     if (got > 0) TWRS_RETURN_IF_ERROR(out->Append(buffer.data(), got));
@@ -83,6 +86,8 @@ Status ShardedSorter::SortUnsharded(RecordSource* source,
   TWRS_RETURN_IF_ERROR(sorter.Sort(source, output_path, &sort_result));
   local.input_records = sort_result.output_records;
   local.output_records = sort_result.output_records;
+  local.bytes_read = sort_result.bytes_read;
+  local.bytes_written = sort_result.bytes_written;
   local.shard_records = {sort_result.output_records};
   local.shard_results = {sort_result};
   local.sort_seconds = sort_result.total_seconds;
@@ -100,30 +105,45 @@ Status ShardedSorter::Sort(RecordSource* source,
   }
 
   Stopwatch staging_watch;
+  CountingEnv env(env_);
+  env.WatchPath(output_path);
+  const CancelToken* cancel = options_.sort.cancel;
   const std::string shard_dir =
       options_.sort.temp_dir + "/" + UniqueScratchDirName("shard");
-  TWRS_RETURN_IF_ERROR(env_->CreateDirIfMissing(shard_dir));
+  TWRS_RETURN_IF_ERROR(env.CreateDirIfMissing(shard_dir));
 
   // Pass 0: materialize the stream while reservoir-sampling it — a
   // streaming input's key distribution is unknown up front.
   const std::string staged = shard_dir + "/staging";
   ReservoirSampler sampler(options_.sample_size, options_.sample_seed);
   uint64_t count = 0;
+  Status s;
   {
-    RecordWriter writer(env_, staged, options_.split_block_bytes);
-    TWRS_RETURN_IF_ERROR(writer.status());
+    RecordWriter writer(&env, staged, options_.split_block_bytes);
+    s = writer.status();
     Key key;
-    while (source->Next(&key)) {
+    while (s.ok() && source->Next(&key)) {
+      if (IsCancelled(cancel)) {
+        s = Status::Cancelled("sharded sort cancelled during staging");
+        break;
+      }
       sampler.Add(key);
       ++count;
-      TWRS_RETURN_IF_ERROR(writer.Append(key));
+      s = writer.Append(key);
     }
-    TWRS_RETURN_IF_ERROR(writer.Finish());
+    if (s.ok()) s = writer.Finish();
   }
-  Status s = SortStaged(staged, /*remove_staged=*/true, shard_dir,
-                        sampler.sample(), count,
-                        staging_watch.ElapsedSeconds(), output_path, result);
-  if (!s.ok()) CleanupScratch(staged, /*remove_staged=*/true, shard_dir);
+  if (s.ok()) {
+    s = SortStaged(&env, staged, /*remove_staged=*/true, shard_dir,
+                   sampler.sample(), count, staging_watch.ElapsedSeconds(),
+                   output_path, result);
+  }
+  if (!s.ok()) {
+    CleanupScratch(staged, /*remove_staged=*/true, shard_dir);
+    // An output this sort truncated is now torn and is removed; a file
+    // the sort never opened is left alone.
+    if (env.watched_created()) env_->RemoveFile(output_path);
+  }
   return s;
 }
 
@@ -138,34 +158,48 @@ Status ShardedSorter::SortFile(const std::string& input_path,
   }
 
   Stopwatch staging_watch;
+  CountingEnv env(env_);
+  env.WatchPath(output_path);
+  const CancelToken* cancel = options_.sort.cancel;
   const std::string shard_dir =
       options_.sort.temp_dir + "/" + UniqueScratchDirName("shard");
-  TWRS_RETURN_IF_ERROR(env_->CreateDirIfMissing(shard_dir));
+  TWRS_RETURN_IF_ERROR(env.CreateDirIfMissing(shard_dir));
 
   // Pass 0: sample straight off the file — no staging copy needed, the
   // partition pass below re-reads it.
   ReservoirSampler sampler(options_.sample_size, options_.sample_seed);
   uint64_t count = 0;
+  Status s;
   {
-    RecordReader reader(env_, input_path, options_.split_block_bytes);
-    TWRS_RETURN_IF_ERROR(reader.status());
-    for (;;) {
+    RecordReader reader(&env, input_path, options_.split_block_bytes);
+    s = reader.status();
+    while (s.ok()) {
+      if (IsCancelled(cancel)) {
+        s = Status::Cancelled("sharded sort cancelled during sampling");
+        break;
+      }
       Key key;
       bool eof;
-      TWRS_RETURN_IF_ERROR(reader.Next(&key, &eof));
-      if (eof) break;
+      s = reader.Next(&key, &eof);
+      if (!s.ok() || eof) break;
       sampler.Add(key);
       ++count;
     }
   }
-  Status s = SortStaged(input_path, /*remove_staged=*/false, shard_dir,
-                        sampler.sample(), count,
-                        staging_watch.ElapsedSeconds(), output_path, result);
-  if (!s.ok()) CleanupScratch(input_path, /*remove_staged=*/false, shard_dir);
+  if (s.ok()) {
+    s = SortStaged(&env, input_path, /*remove_staged=*/false, shard_dir,
+                   sampler.sample(), count, staging_watch.ElapsedSeconds(),
+                   output_path, result);
+  }
+  if (!s.ok()) {
+    CleanupScratch(input_path, /*remove_staged=*/false, shard_dir);
+    if (env.watched_created()) env_->RemoveFile(output_path);  // torn
+  }
   return s;
 }
 
-Status ShardedSorter::SortStaged(const std::string& staged_path,
+Status ShardedSorter::SortStaged(CountingEnv* env,
+                                 const std::string& staged_path,
                                  bool remove_staged,
                                  const std::string& shard_dir,
                                  const std::vector<Key>& sample,
@@ -175,6 +209,7 @@ Status ShardedSorter::SortStaged(const std::string& staged_path,
                                  ShardedSortResult* result) {
   Stopwatch total_watch;
   Stopwatch phase_watch;
+  const CancelToken* cancel = options_.sort.cancel;
   ShardedSortResult local;
   local.input_records = input_records;
   local.splitters = PickSplitters(sample, options_.shards);
@@ -190,12 +225,15 @@ Status ShardedSorter::SortStaged(const std::string& staged_path,
     for (size_t i = 0; i < num_shards; ++i) {
       shard_paths[i] = shard_dir + "/shard_" + std::to_string(i);
       writers[i] = std::make_unique<RecordWriter>(
-          env_, shard_paths[i], options_.split_block_bytes);
+          env, shard_paths[i], options_.split_block_bytes);
       TWRS_RETURN_IF_ERROR(writers[i]->status());
     }
-    RecordReader reader(env_, staged_path, options_.split_block_bytes);
+    RecordReader reader(env, staged_path, options_.split_block_bytes);
     TWRS_RETURN_IF_ERROR(reader.status());
     for (;;) {
+      if (IsCancelled(cancel)) {
+        return Status::Cancelled("sharded sort cancelled during partition");
+      }
       Key key;
       bool eof;
       TWRS_RETURN_IF_ERROR(reader.Next(&key, &eof));
@@ -209,7 +247,7 @@ Status ShardedSorter::SortStaged(const std::string& staged_path,
     }
     for (auto& writer : writers) TWRS_RETURN_IF_ERROR(writer->Finish());
   }
-  if (remove_staged) TWRS_RETURN_IF_ERROR(env_->RemoveFile(staged_path));
+  if (remove_staged) TWRS_RETURN_IF_ERROR(env->RemoveFile(staged_path));
   local.split_seconds = prior_seconds + phase_watch.ElapsedSeconds();
 
   // Concurrent per-shard sorts: each shard runs the complete external-sort
@@ -235,9 +273,9 @@ Status ShardedSorter::SortStaged(const std::string& staged_path,
       const std::string shard_path = shard_paths[i];
       const std::string sorted_path = sorted_paths[i];
       handles[i] = pool->Submit(
-          [this, shard_options, shard_path, sorted_path, shard_result] {
-            ExternalSorter sorter(env_, shard_options);
-            FileRecordSource shard_source(env_, shard_path,
+          [env, shard_options, shard_path, sorted_path, shard_result] {
+            ExternalSorter sorter(env, shard_options);
+            FileRecordSource shard_source(env, shard_path,
                                           shard_options.block_bytes);
             Status s = sorter.Sort(&shard_source, sorted_path, shard_result);
             if (s.ok()) s = shard_source.status();
@@ -260,20 +298,20 @@ Status ShardedSorter::SortStaged(const std::string& staged_path,
   phase_watch.Reset();
   {
     std::unique_ptr<WritableFile> out;
-    TWRS_RETURN_IF_ERROR(env_->NewWritableFile(output_path, &out));
+    TWRS_RETURN_IF_ERROR(env->NewWritableFile(output_path, &out));
     for (size_t i = 0; i < num_shards; ++i) {
-      TWRS_RETURN_IF_ERROR(AppendFileTo(env_, sorted_paths[i], out.get(),
-                                        options_.split_block_bytes));
+      TWRS_RETURN_IF_ERROR(AppendFileTo(env, sorted_paths[i], out.get(),
+                                        options_.split_block_bytes, cancel));
     }
     TWRS_RETURN_IF_ERROR(out->Close());
   }
   local.concat_seconds = phase_watch.ElapsedSeconds();
 
   for (size_t i = 0; i < num_shards; ++i) {
-    TWRS_RETURN_IF_ERROR(env_->RemoveFile(shard_paths[i]));
-    TWRS_RETURN_IF_ERROR(env_->RemoveFile(sorted_paths[i]));
+    TWRS_RETURN_IF_ERROR(env->RemoveFile(shard_paths[i]));
+    TWRS_RETURN_IF_ERROR(env->RemoveFile(sorted_paths[i]));
   }
-  TWRS_RETURN_IF_ERROR(env_->RemoveDir(shard_dir));
+  TWRS_RETURN_IF_ERROR(env->RemoveDir(shard_dir));
 
   for (const ExternalSortResult& r : local.shard_results) {
     local.output_records += r.output_records;
@@ -284,6 +322,8 @@ Status ShardedSorter::SortStaged(const std::string& staged_path,
         std::to_string(local.input_records) +
         " out=" + std::to_string(local.output_records));
   }
+  local.bytes_read = env->bytes_read();
+  local.bytes_written = env->bytes_written();
   local.total_seconds = prior_seconds + total_watch.ElapsedSeconds();
   if (result != nullptr) *result = std::move(local);
   return Status::OK();
@@ -292,16 +332,20 @@ Status ShardedSorter::SortStaged(const std::string& staged_path,
 void ShardedSorter::CleanupScratch(const std::string& staged_path,
                                    bool remove_staged,
                                    const std::string& shard_dir) {
-  // Shard/sorted paths are deterministic, so they can be re-derived even
-  // when the failure happened before they were all created. Statuses are
-  // deliberately ignored: this runs after a failure, on files that may
-  // never have existed.
+  // Statuses are deliberately ignored: this runs after a failure, on files
+  // that may never have existed.
   if (remove_staged) env_->RemoveFile(staged_path);
+  // Shard/sorted paths are deterministic, so remove them by name first:
+  // this works on any Env, including ones that keep the default
+  // NotSupported ListDir (where the tree removal below is a no-op).
   for (size_t i = 0; i < options_.shards; ++i) {
     env_->RemoveFile(shard_dir + "/shard_" + std::to_string(i));
     env_->RemoveFile(shard_dir + "/sorted_" + std::to_string(i));
   }
-  env_->RemoveDir(shard_dir);
+  // The recursive removal catches what deterministic names cannot: the
+  // nested sort_* scratch directory of a per-shard sort that failed
+  // partway, with its run files inside.
+  RemoveTreeBestEffort(env_, shard_dir);
 }
 
 }  // namespace twrs

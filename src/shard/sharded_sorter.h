@@ -7,6 +7,7 @@
 
 #include "core/record.h"
 #include "core/record_source.h"
+#include "io/counting_env.h"
 #include "io/env.h"
 #include "merge/external_sorter.h"
 #include "util/random.h"
@@ -82,6 +83,11 @@ struct ShardedSortResult {
   uint64_t input_records = 0;
   uint64_t output_records = 0;
 
+  /// Engine I/O volume across every pass (staging, partition, the shards'
+  /// complete sorts, concatenation), mirroring ExternalSortResult.
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
   /// Splitters actually used (effective shards = splitters.size() + 1).
   std::vector<Key> splitters;
 
@@ -128,15 +134,18 @@ class ShardedSorter {
   /// splitters picked from `sample`, sorts every shard concurrently and
   /// concatenates into `output_path`. Removes `staged_path` when owned.
   /// `prior_seconds` is the caller's sampling/staging time, folded into the
-  /// split and total timings.
-  Status SortStaged(const std::string& staged_path, bool remove_staged,
-                    const std::string& shard_dir,
+  /// split and total timings. `env` is the operation's counting decorator;
+  /// all passes (including the per-shard sorts) run through it.
+  Status SortStaged(CountingEnv* env, const std::string& staged_path,
+                    bool remove_staged, const std::string& shard_dir,
                     const std::vector<Key>& sample, uint64_t input_records,
                     double prior_seconds, const std::string& output_path,
                     ShardedSortResult* result);
 
-  /// Best-effort removal of SortStaged's scratch files after a failure, so
-  /// a failed sort does not leave up to 2x the input behind on disk.
+  /// Best-effort removal of everything under shard_dir after a failure —
+  /// shard and sorted files, the owned staging copy, and the scratch
+  /// directories of per-shard sorts that failed partway — so a failed sort
+  /// does not leave up to 2x the input behind on disk.
   void CleanupScratch(const std::string& staged_path, bool remove_staged,
                       const std::string& shard_dir);
 

@@ -22,6 +22,12 @@ std::string Status::ToString() const {
     case Code::kNotSupported:
       label = "Not supported";
       break;
+    case Code::kCancelled:
+      label = "Cancelled";
+      break;
+    case Code::kBusy:
+      label = "Busy";
+      break;
   }
   std::string out = label;
   if (!message_.empty()) {

@@ -21,6 +21,8 @@ class Status {
     kInvalidArgument = 3,
     kIOError = 4,
     kNotSupported = 5,
+    kCancelled = 6,
+    kBusy = 7,
   };
 
   /// Creates an OK status.
@@ -47,6 +49,12 @@ class Status {
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -54,6 +62,8 @@ class Status {
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

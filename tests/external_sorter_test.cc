@@ -270,6 +270,199 @@ TEST(ExternalSorterParallelTest, ConcurrentSortsSharingTempDirDoNotCollide) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Cooperative cancellation and error-path hygiene
+
+// Yields `input` records, firing the token after `fire_after` of them —
+// deterministic mid-run-generation cancellation.
+class CancelAfterNSource : public RecordSource {
+ public:
+  CancelAfterNSource(std::vector<Key> keys, size_t fire_after,
+                     CancelToken* token)
+      : keys_(std::move(keys)), fire_after_(fire_after), token_(token) {}
+
+  bool Next(Key* key) override {
+    if (pos_ == fire_after_) token_->Cancel();
+    if (pos_ == keys_.size()) return false;
+    *key = keys_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Key> keys_;
+  size_t fire_after_;
+  CancelToken* token_;
+  size_t pos_ = 0;
+};
+
+// MemEnv that fires the token on the first sequential open. The sort's
+// run generation only writes, so the first read is the merge phase
+// opening its first input — deterministic mid-merge cancellation.
+class CancelOnFirstReadEnv : public MemEnv {
+ public:
+  explicit CancelOnFirstReadEnv(CancelToken* token) : token_(token) {}
+
+  Status NewSequentialFile(const std::string& path,
+                           std::unique_ptr<SequentialFile>* out) override {
+    token_->Cancel();
+    return MemEnv::NewSequentialFile(path, out);
+  }
+
+ private:
+  CancelToken* token_;
+};
+
+ExternalSortOptions CancelTestOptions(const CancelToken* token) {
+  ExternalSortOptions options;
+  options.memory_records = 128;
+  options.twrs = TwoWayOptions::Recommended(128);
+  options.fan_in = 4;
+  options.temp_dir = "tmp";
+  options.block_bytes = 512;
+  options.cancel = token;
+  return options;
+}
+
+TEST(ExternalSorterCancelTest, PreCancelledSortFailsFastAndWritesNothing) {
+  MemEnv env;
+  CancelToken token;
+  token.Cancel();
+  ExternalSorter sorter(&env, CancelTestOptions(&token));
+  VectorSource source({3, 1, 2});
+  EXPECT_TRUE(sorter.Sort(&source, "out", nullptr).IsCancelled());
+  EXPECT_EQ(env.FileCount(), 0u);
+}
+
+TEST(ExternalSorterCancelTest, CancelMidRunGenerationUnwindsAndCleansUp) {
+  MemEnv env;
+  WorkloadOptions wl;
+  wl.num_records = 20000;
+  wl.seed = 21;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+
+  CancelToken token;
+  ExternalSorter sorter(&env, CancelTestOptions(&token));
+  // Fire a quarter of the way in: several runs already sit on disk.
+  CancelAfterNSource source(input, 5000, &token);
+  const Status status = sorter.Sort(&source, "out", nullptr);
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+  // No run files, no partial output — nothing survives the cancel.
+  EXPECT_EQ(env.FileCount(), 0u);
+}
+
+TEST(ExternalSorterCancelTest, CancelMidMergeUnwindsAndCleansUp) {
+  CancelToken token;
+  CancelOnFirstReadEnv env(&token);
+  WorkloadOptions wl;
+  wl.num_records = 5000;
+  wl.seed = 22;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+
+  ExternalSorter sorter(&env, CancelTestOptions(&token));
+  VectorSource source(input);
+  const Status status = sorter.Sort(&source, "out", nullptr);
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+  EXPECT_EQ(status.message(), "merge cancelled");
+  EXPECT_EQ(env.FileCount(), 0u);
+}
+
+TEST(ExternalSorterCancelTest, ParallelSortAlsoObservesTheToken) {
+  MemEnv env;
+  WorkloadOptions wl;
+  wl.num_records = 20000;
+  wl.seed = 23;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+
+  CancelToken token;
+  ExternalSortOptions options = CancelTestOptions(&token);
+  options.parallel.worker_threads = 2;
+  options.parallel.dedicated_pool = true;
+  ExternalSorter sorter(&env, options);
+  CancelAfterNSource source(input, 5000, &token);
+  EXPECT_TRUE(sorter.Sort(&source, "out", nullptr).IsCancelled());
+  EXPECT_EQ(env.FileCount(), 0u);
+}
+
+TEST(ExternalSorterTest, FailedMergeLeavesNoScratchOrTornOutput) {
+  MemEnv env;
+  ExternalSortOptions options;
+  options.memory_records = 32;
+  options.twrs = TwoWayOptions::Recommended(32);
+  options.temp_dir = "tmp";
+  options.fan_in = 1;  // poison: run generation succeeds, the merge fails
+  ExternalSorter sorter(&env, options);
+  WorkloadOptions wl;
+  wl.num_records = 2000;
+  wl.seed = 24;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+  VectorSource source(input);
+  EXPECT_TRUE(sorter.Sort(&source, "out", nullptr).IsInvalidArgument());
+  EXPECT_EQ(env.FileCount(), 0u);
+}
+
+TEST(ExternalSorterTest, FailureDoesNotDeleteAPreexistingOutputFile) {
+  MemEnv env;
+  // Yesterday's result, re-sorted into the same destination today.
+  ASSERT_TWRS_OK(WriteAllRecords(&env, "out", {1, 2, 3}));
+
+  CancelToken token;
+  token.Cancel();
+  ExternalSorter sorter(&env, CancelTestOptions(&token));
+  VectorSource source({9, 8, 7});
+  EXPECT_TRUE(sorter.Sort(&source, "out", nullptr).IsCancelled());
+
+  // The failed sort never opened the output; the old file must survive.
+  std::vector<Key> keys;
+  ASSERT_TWRS_OK(ReadAllRecords(&env, "out", &keys));
+  EXPECT_EQ(keys, (std::vector<Key>{1, 2, 3}));
+}
+
+TEST(ExternalSorterCancelTest, TornOutputThisSortTruncatedIsRemoved) {
+  CancelToken token;
+  CancelOnFirstReadEnv env(&token);
+  // A pre-existing output that the re-sort truncates before the merge's
+  // first input read fires the token: the old data is already gone, and
+  // the torn partial must not be left masquerading as a result.
+  ASSERT_TWRS_OK(WriteAllRecords(&env, "out", {1, 2, 3}));
+
+  ExternalSortOptions options = CancelTestOptions(&token);
+  // Single merge pass: the final merge truncates "out" before it opens
+  // its first input, which is what fires the token.
+  options.fan_in = 64;
+  ExternalSorter sorter(&env, options);
+  WorkloadOptions wl;
+  wl.num_records = 5000;
+  wl.seed = 26;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+  VectorSource source(input);
+  EXPECT_TRUE(sorter.Sort(&source, "out", nullptr).IsCancelled());
+  EXPECT_FALSE(env.FileExists("out"));
+  EXPECT_EQ(env.FileCount(), 0u);
+}
+
+TEST(ExternalSorterTest, ReportsEngineIoVolume) {
+  MemEnv env;
+  ExternalSortOptions options;
+  options.memory_records = 64;
+  options.twrs = TwoWayOptions::Recommended(64);
+  options.temp_dir = "tmp";
+  options.fan_in = 2;  // several merge passes
+  ExternalSorter sorter(&env, options);
+  WorkloadOptions wl;
+  wl.num_records = 5000;
+  wl.seed = 25;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+  VectorSource source(input);
+  ExternalSortResult result;
+  ASSERT_TWRS_OK(sorter.Sort(&source, "out", &result));
+
+  const uint64_t input_bytes = input.size() * kRecordBytes;
+  // Runs written once plus the output, plus intermediate passes: at least
+  // 2x the input volume out, at least 1x back in.
+  EXPECT_GE(result.bytes_written, 2 * input_bytes);
+  EXPECT_GE(result.bytes_read, input_bytes);
+}
+
 TEST(VerifySortedFileTest, DetectsDisorder) {
   MemEnv env;
   ASSERT_TWRS_OK(WriteAllRecords(&env, "f", {3, 1, 2}));
