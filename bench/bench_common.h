@@ -298,6 +298,7 @@ inline TimedSort RunTimedSort(const TimedSortSpec& spec) {
       .Int("sections", spec.sections)
       .Int("seed", spec.seed)
       .Int("worker_threads", spec.parallel.worker_threads)
+      .Int("final_merge_threads", spec.parallel.final_merge_threads)
       .Int("num_runs", timed.num_runs)
       .Int("merge_steps", timed.merge_steps)
       .Num("run_gen_seconds", timed.run_gen_seconds)

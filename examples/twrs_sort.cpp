@@ -21,6 +21,13 @@
 //                                     shared executor (1 = unsharded, default);
 //                                     `auto` plans the count from the input
 //                                     size, --memory and the executor load
+//   --final-merge-threads N|auto      partitions of the final merge pass
+//                                     (1 = serial, default): N partial merges
+//                                     run concurrently, each writing its own
+//                                     byte range of the output; `auto` takes
+//                                     the planner's choice (or the executor
+//                                     capacity when --shards is fixed).
+//                                     Implies the pooled path (--threads >= 1)
 //   --executor-threads N              capacity of the process-wide shared
 //                                     executor (0 = hardware concurrency)
 //   --verify                          check the output after sorting
@@ -29,6 +36,7 @@
 //   --records N                       records for --generate (default 1M)
 //   --seed N                          workload seed (default 1)
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <string>
@@ -125,6 +133,8 @@ int main(int argc, char** argv) {
       twrs::TwoWayOptions::Recommended(options.memory_records);
   uint64_t shards = 1;
   bool shards_auto = false;
+  uint64_t final_merge_threads = 1;
+  bool final_merge_auto = false;
   uint64_t executor_threads = 0;
   bool verify = false;
   bool generate = false;
@@ -192,6 +202,21 @@ int main(int argc, char** argv) {
           return 2;
         }
         shards = n;
+      }
+    } else if (arg == "--final-merge-threads") {
+      const char* v = next();
+      if (v != nullptr && std::string(v) == "auto") {
+        final_merge_auto = true;
+      } else {
+        uint64_t n = 0;
+        if (!ParseCount(v, &n) || n > 1024) return Usage();
+        if (n == 0) {
+          fprintf(stderr,
+                  "--final-merge-threads must be at least 1 (got 0); use "
+                  "`auto` for the planned count\n");
+          return 2;
+        }
+        final_merge_threads = n;
       }
     } else if (arg == "--executor-threads") {
       uint64_t v = 0;
@@ -265,9 +290,27 @@ int main(int argc, char** argv) {
     plan_inputs.executor_inflight = twrs::Executor::Shared().inflight_tasks();
     const twrs::ShardPlan plan = twrs::PlanShardCount(plan_inputs);
     shards = plan.shards;
+    if (final_merge_auto) final_merge_threads = plan.final_merge_threads;
     printf("--shards auto: planned %llu shards (%s)\n",
            static_cast<unsigned long long>(shards),
            twrs::ShardPlanLimitName(plan.limit));
+  } else if (final_merge_auto) {
+    // No shard plan to borrow from: spread the executor over the fixed
+    // shard count.
+    final_merge_threads =
+        std::max<uint64_t>(1, twrs::Executor::Shared().capacity() / shards);
+  }
+  if (final_merge_auto) {
+    printf("--final-merge-threads auto: %llu partitions per final merge\n",
+           static_cast<unsigned long long>(final_merge_threads));
+  }
+  options.parallel.final_merge_threads =
+      static_cast<size_t>(final_merge_threads);
+  if (final_merge_threads > 1 && options.parallel.worker_threads == 0) {
+    // The partitioned final merge runs on the shared executor's pool;
+    // worker_threads > 0 switches pool borrowing on (the pool's size stays
+    // the executor's capacity either way).
+    options.parallel.worker_threads = 1;
   }
   if (shards > 1) {
     twrs::ShardedSortOptions sharded;
@@ -282,11 +325,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     printf("%s sharded: %llu records over %zu shards, "
-           "split %.3fs + sort %.3fs + concat %.3fs = %.3fs\n",
+           "split %.3fs + sort %.3fs (direct range writes) = %.3fs\n",
            twrs::RunGenAlgorithmName(options.algorithm),
            static_cast<unsigned long long>(result.output_records),
            result.shard_records.size(), result.split_seconds,
-           result.sort_seconds, result.concat_seconds, result.total_seconds);
+           result.sort_seconds, result.total_seconds);
   } else {
     twrs::ExternalSorter sorter(&env, options);
     twrs::FileRecordSource source(&env, positional[0]);

@@ -197,11 +197,16 @@ int main(int argc, char** argv) {
                               "queue s", "total s", "records"});
     for (uint64_t j = 0; j < jobs; ++j) {
       const twrs::SortJobStats job = handles[j].stats();
+      // lease column: granted[->downsized]/nominal; the arrow appears when
+      // the job returned part of its budget at merge begin.
+      std::string lease = std::to_string(job.granted_memory_records);
+      if (job.downsized_memory_records > 0) {
+        lease += "->" + std::to_string(job.downsized_memory_records);
+      }
+      lease += "/" + std::to_string(job.nominal_memory_records);
       table.AddRow({std::to_string(j), twrs::JobStateName(job.state),
                     std::to_string(job.planned_shards),
-                    twrs::ShardPlanLimitName(job.plan_limit),
-                    std::to_string(job.granted_memory_records) + "/" +
-                        std::to_string(job.nominal_memory_records),
+                    twrs::ShardPlanLimitName(job.plan_limit), lease,
                     twrs::TablePrinter::Num(job.queue_seconds, 3),
                     twrs::TablePrinter::Num(job.total_seconds, 3),
                     std::to_string(job.result.output_records)});
@@ -218,10 +223,11 @@ int main(int argc, char** argv) {
            stats.peak_queued, stats.peak_running,
            static_cast<unsigned long long>(stats.shrunk_admissions));
     printf("governor: %zu/%zu records reserved at shutdown, %llu leases "
-           "(%llu shrunk)\n",
+           "(%llu shrunk, %llu downsized mid-flight)\n",
            governor.reserved_records, governor.capacity_records,
            static_cast<unsigned long long>(governor.total_leases),
-           static_cast<unsigned long long>(governor.shrunk_leases));
+           static_cast<unsigned long long>(governor.shrunk_leases),
+           static_cast<unsigned long long>(governor.downsized_leases));
   }
 
   int rc = 0;

@@ -7,86 +7,91 @@ namespace twrs {
 
 namespace {
 
-using Bytes = std::vector<uint8_t>;
+using internal::MemEnvFile;
 
 class MemWritableFile : public WritableFile {
  public:
-  explicit MemWritableFile(std::shared_ptr<Bytes> data)
-      : data_(std::move(data)) {}
+  explicit MemWritableFile(std::shared_ptr<MemEnvFile> file)
+      : file_(std::move(file)) {}
 
   Status Append(const void* data, size_t n) override {
     const uint8_t* p = static_cast<const uint8_t*>(data);
-    data_->insert(data_->end(), p, p + n);
+    std::lock_guard<std::mutex> lock(file_->mu);
+    file_->data.insert(file_->data.end(), p, p + n);
     return Status::OK();
   }
 
   Status Close() override { return Status::OK(); }
 
  private:
-  std::shared_ptr<Bytes> data_;
+  std::shared_ptr<MemEnvFile> file_;
 };
 
 class MemSequentialFile : public SequentialFile {
  public:
-  explicit MemSequentialFile(std::shared_ptr<Bytes> data)
-      : data_(std::move(data)) {}
+  explicit MemSequentialFile(std::shared_ptr<MemEnvFile> file)
+      : file_(std::move(file)) {}
 
   Status Read(void* out, size_t n, size_t* bytes_read) override {
-    size_t avail = data_->size() - pos_;
+    std::lock_guard<std::mutex> lock(file_->mu);
+    size_t avail = file_->data.size() - pos_;
     size_t take = std::min(n, avail);
     // An empty vector's data() may be null, and memcpy requires non-null
     // arguments even for zero-length copies.
-    if (take > 0) std::memcpy(out, data_->data() + pos_, take);
+    if (take > 0) std::memcpy(out, file_->data.data() + pos_, take);
     pos_ += take;
     *bytes_read = take;
     return Status::OK();
   }
 
   Status Skip(uint64_t n) override {
-    pos_ = std::min(data_->size(), pos_ + static_cast<size_t>(n));
+    std::lock_guard<std::mutex> lock(file_->mu);
+    pos_ = std::min(file_->data.size(), pos_ + static_cast<size_t>(n));
     return Status::OK();
   }
 
  private:
-  std::shared_ptr<Bytes> data_;
+  std::shared_ptr<MemEnvFile> file_;
   size_t pos_ = 0;
 };
 
 class MemRandomRWFile : public RandomRWFile {
  public:
-  explicit MemRandomRWFile(std::shared_ptr<Bytes> data)
-      : data_(std::move(data)) {}
+  explicit MemRandomRWFile(std::shared_ptr<MemEnvFile> file)
+      : file_(std::move(file)) {}
 
   Status WriteAt(uint64_t offset, const void* data, size_t n) override {
-    if (offset + n > data_->size()) data_->resize(offset + n, 0);
-    if (n > 0) std::memcpy(data_->data() + offset, data, n);
+    std::lock_guard<std::mutex> lock(file_->mu);
+    if (offset + n > file_->data.size()) file_->data.resize(offset + n, 0);
+    if (n > 0) std::memcpy(file_->data.data() + offset, data, n);
     return Status::OK();
   }
 
   Status ReadAt(uint64_t offset, void* out, size_t n) override {
-    if (offset + n > data_->size()) {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    if (offset + n > file_->data.size()) {
       return Status::IOError("short read in mem file");
     }
-    if (n > 0) std::memcpy(out, data_->data() + offset, n);
+    if (n > 0) std::memcpy(out, file_->data.data() + offset, n);
     return Status::OK();
   }
 
   Status Close() override { return Status::OK(); }
 
  private:
-  std::shared_ptr<Bytes> data_;
+  std::shared_ptr<MemEnvFile> file_;
 };
 
 }  // namespace
 
 Status MemEnv::NewWritableFile(const std::string& path,
                                std::unique_ptr<WritableFile>* out) {
-  auto data = std::make_shared<Bytes>();
+  auto file = std::make_shared<MemEnvFile>();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    files_[path] = data;
+    files_[path] = file;
   }
-  out->reset(new MemWritableFile(std::move(data)));
+  out->reset(new MemWritableFile(std::move(file)));
   return Status::OK();
 }
 
@@ -101,12 +106,12 @@ Status MemEnv::NewSequentialFile(const std::string& path,
 
 Status MemEnv::NewRandomRWFile(const std::string& path,
                                std::unique_ptr<RandomRWFile>* out) {
-  auto data = std::make_shared<Bytes>();
+  auto file = std::make_shared<MemEnvFile>();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    files_[path] = data;
+    files_[path] = file;
   }
-  out->reset(new MemRandomRWFile(std::move(data)));
+  out->reset(new MemRandomRWFile(std::move(file)));
   return Status::OK();
 }
 
@@ -140,10 +145,15 @@ Status MemEnv::RemoveFile(const std::string& path) {
 }
 
 Status MemEnv::GetFileSize(const std::string& path, uint64_t* size) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = files_.find(path);
-  if (it == files_.end()) return Status::NotFound(path);
-  *size = it->second->size();
+  std::shared_ptr<MemEnvFile> file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound(path);
+    file = it->second;
+  }
+  std::lock_guard<std::mutex> lock(file->mu);
+  *size = file->data.size();
   return Status::OK();
 }
 
@@ -182,7 +192,7 @@ const std::vector<uint8_t>* MemEnv::FileContents(
     const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
-  return it == files_.end() ? nullptr : it->second.get();
+  return it == files_.end() ? nullptr : &it->second->data;
 }
 
 }  // namespace twrs

@@ -12,11 +12,23 @@
 
 namespace twrs {
 
+namespace internal {
+
+/// One stored MemEnv file: its bytes plus the per-file lock every open
+/// handle takes around an access.
+struct MemEnvFile {
+  std::mutex mu;
+  std::vector<uint8_t> data;
+};
+
+}  // namespace internal
+
 /// In-memory Env used by the test suite. Every file is a byte vector keyed by
 /// path; directories are implicit. The path map is mutex-protected so
 /// concurrent sorts and the exec subsystem's background I/O can share one
-/// MemEnv; as under POSIX, concurrent access to the *same* file is only safe
-/// for distinct open handles with a single writer.
+/// MemEnv. Each file additionally carries its own mutex, giving the same
+/// guarantee POSIX gives pwrite: concurrent handles to one file may write
+/// disjoint byte ranges (the RangeMergeSink pattern) without a data race.
 class MemEnv : public Env {
  public:
   MemEnv() = default;
@@ -52,7 +64,7 @@ class MemEnv : public Env {
  private:
   mutable std::mutex mu_;
   // Shared so that open handles survive RemoveFile, as POSIX does.
-  std::map<std::string, std::shared_ptr<std::vector<uint8_t>>> files_;
+  std::map<std::string, std::shared_ptr<internal::MemEnvFile>> files_;
 };
 
 }  // namespace twrs

@@ -256,4 +256,32 @@ Status ReverseRunReader::Next(Key* key, bool* eof) {
   return Status::OK();
 }
 
+Status ReverseRunReader::SkipRecords(uint64_t n) {
+  TWRS_RETURN_IF_ERROR(status_);
+  while (n > 0) {
+    const uint64_t buffered = (buffer_size_ - buffer_pos_) / kRecordBytes;
+    if (buffered > 0) {
+      const uint64_t take = std::min(n, buffered);
+      buffer_pos_ += static_cast<size_t>(take) * kRecordBytes;
+      n -= take;
+      continue;
+    }
+    if (remaining_in_file_ == 0) {
+      if (next_file_ == 0) return Status::OK();  // past EOF: no-op
+      --next_file_;
+      status_ = OpenFile(next_file_);
+      TWRS_RETURN_IF_ERROR(status_);
+      continue;
+    }
+    // The open file's unread data is contiguous from the current position,
+    // so any in-file skip is one Skip on the handle — no data reads.
+    const uint64_t take = std::min(n, remaining_in_file_);
+    status_ = file_->Skip(take * kRecordBytes);
+    TWRS_RETURN_IF_ERROR(status_);
+    remaining_in_file_ -= take;
+    n -= take;
+  }
+  return Status::OK();
+}
+
 }  // namespace twrs

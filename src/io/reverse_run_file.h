@@ -106,6 +106,14 @@ class ReverseRunReader {
   /// Reads the next record into `*key`; sets `*eof` at end of stream.
   Status Next(Key* key, bool* eof);
 
+  /// Advances past the next `n` records without decoding them. Whole files
+  /// are skipped by reading only their header (each file's data region is
+  /// contiguous, so a within-file skip is a single Skip on the underlying
+  /// handle). Skipping past the end of the stream is a no-op, as in
+  /// SequentialFile::Skip. The ranged merge cursors use this to start a
+  /// partial merge mid-run without paying the prefix read.
+  Status SkipRecords(uint64_t n);
+
   /// Total number of physical files in the stream.
   uint64_t num_files() const { return num_files_; }
 

@@ -59,20 +59,63 @@ std::unique_ptr<RunGenerator> MakeRunGenerator(RunGenAlgorithm algorithm,
   return nullptr;
 }
 
+size_t MergePhaseMemoryRecords(const ExternalSortOptions& options) {
+  const size_t records_per_block =
+      std::max<size_t>(1, options.block_bytes / kRecordBytes);
+  // One merge holds fan_in input streams (a block each, plus read-ahead)
+  // and one output buffer.
+  const size_t per_merge =
+      (options.fan_in * (1 + options.parallel.prefetch_blocks) + 1) *
+      records_per_block;
+  // Merges run concurrently, each with its own buffer set: the final pass
+  // splits into final_merge_threads partial merges, and pool-dispatched
+  // same-level leaf merges can hold one merge's buffers per worker during
+  // intermediate passes (worker_threads is 1 in shared-executor mode, so
+  // this leg is a floor, not an exact bound). The phase footprint is the
+  // wider of the two stages.
+  size_t concurrency =
+      std::max<size_t>(1, options.parallel.final_merge_threads);
+  if (options.parallel.parallel_leaf_merges) {
+    concurrency = std::max(
+        concurrency, std::max<size_t>(1, options.parallel.worker_threads));
+  }
+  return per_merge * concurrency;
+}
+
 ExternalSorter::ExternalSorter(Env* env, ExternalSortOptions options)
     : env_(env), options_(std::move(options)) {}
 
 Status ExternalSorter::Sort(RecordSource* source,
                             const std::string& output_path,
                             ExternalSortResult* result) {
+  return SortInternal(source, output_path, MergeOutputRange(), result);
+}
+
+Status ExternalSorter::SortIntoRange(RecordSource* source,
+                                     const std::string& output_path,
+                                     const MergeOutputRange& range,
+                                     ExternalSortResult* result) {
+  if (!range.positioned) {
+    return Status::InvalidArgument(
+        "SortIntoRange requires a positioned output range");
+  }
+  return SortInternal(source, output_path, range, result);
+}
+
+Status ExternalSorter::SortInternal(RecordSource* source,
+                                    const std::string& output_path,
+                                    const MergeOutputRange& range,
+                                    ExternalSortResult* result) {
   // All engine I/O (runs, intermediate merges, output) goes through a
   // counting decorator so the result can report real byte volume. The
   // output path is watched so the error path knows whether this sort
-  // truncated it.
+  // truncated it (in range mode the file belongs to the caller and is
+  // only ever reopened, so the watch never fires).
   CountingEnv env(env_);
   env.WatchPath(output_path);
   SortContext context;
   TWRS_RETURN_IF_ERROR(PrepareSortContext(&env, options_, &context));
+  context.output_range = range;
 
   Stopwatch total_watch;
   RunGenerationPhase run_generation(source);

@@ -2,6 +2,7 @@
 #define TWRS_MERGE_EXTERNAL_SORTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -54,6 +55,13 @@ struct ParallelOptions {
   /// Dispatch independent same-level intermediate merges onto the pool.
   bool parallel_leaf_merges = true;
 
+  /// Partitions of the final merge pass: > 1 splits the key domain by
+  /// sampled splitters and runs that many partial merges concurrently on
+  /// the pool, each writing its disjoint byte range of the output
+  /// (byte-identical to the serial pass). Requires worker_threads > 0;
+  /// 0/1 keep the last pass serial.
+  size_t final_merge_threads = 1;
+
   /// Pool provenance. By default a sort with worker_threads > 0 borrows the
   /// process-wide Executor::Shared() pool — its size is the executor's
   /// capacity, and worker_threads then only switches the pool features on —
@@ -100,7 +108,21 @@ struct ExternalSortOptions {
   /// scratch files removed — shortly after it fires. Must outlive the
   /// sort; a fired token never resets, so use a fresh one per sort.
   const CancelToken* cancel = nullptr;
+
+  /// Invoked once when the sort transitions from run generation to
+  /// merging, with the (much smaller) record budget the merge phases still
+  /// need. The SortService hooks this to downsize a job's MemoryGovernor
+  /// lease mid-flight so queued jobs admit sooner. May be called from a
+  /// pool thread; must be cheap and thread-safe.
+  std::function<void(size_t merge_memory_records)> on_merge_begin;
 };
+
+/// Records the merge phase of a sort configured by `options` actually
+/// keeps resident: one block-sized buffer per merge input stream (plus
+/// read-ahead blocks) and one output buffer. The run-generation heaps —
+/// the `memory_records` budget — are gone by then, which is what makes a
+/// mid-sort lease downsize sound.
+size_t MergePhaseMemoryRecords(const ExternalSortOptions& options);
 
 /// Timing and volume breakdown of one sort, mirroring the measurements of
 /// Chapter 6 (run generation time vs total time).
@@ -131,9 +153,23 @@ class ExternalSorter {
   Status Sort(RecordSource* source, const std::string& output_path,
               ExternalSortResult* result);
 
+  /// Sorts `source` into the byte range `range` of the *existing* file at
+  /// `output_path`: the final merge writes its records through positioned
+  /// writes without truncating the file, and `range.length` must match the
+  /// sorted byte volume exactly. This is how the sharded sorter lands each
+  /// shard directly in the shared output with no concatenation pass. The
+  /// caller owns the file's creation and its removal on failure.
+  Status SortIntoRange(RecordSource* source, const std::string& output_path,
+                       const MergeOutputRange& range,
+                       ExternalSortResult* result);
+
   const ExternalSortOptions& options() const { return options_; }
 
  private:
+  Status SortInternal(RecordSource* source, const std::string& output_path,
+                      const MergeOutputRange& range,
+                      ExternalSortResult* result);
+
   Env* env_;
   ExternalSortOptions options_;
 };

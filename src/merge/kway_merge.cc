@@ -1,5 +1,7 @@
 #include "merge/kway_merge.h"
 
+#include <limits>
+
 #include "merge/loser_tree.h"
 
 namespace twrs {
@@ -12,16 +14,26 @@ RunCursor::RunCursor(Env* env, RunInfo run, size_t block_bytes,
       prefetch_blocks_(prefetch_blocks) {}
 
 Status RunCursor::Init() {
+  return InitSlice(0, std::numeric_limits<uint64_t>::max());
+}
+
+Status RunCursor::InitSlice(uint64_t skip, uint64_t limit) {
   segment_ = 0;
   valid_ = false;
   forward_.reset();
   reverse_.reset();
+  skip_remaining_ = skip;
+  limit_remaining_ = limit;
   return Advance();
 }
 
 Status RunCursor::Next() { return Advance(); }
 
 Status RunCursor::Advance() {
+  if (limit_remaining_ == 0) {
+    valid_ = false;
+    return Status::OK();
+  }
   for (;;) {
     // Pull from the currently open segment reader, if any.
     bool eof = true;
@@ -32,6 +44,7 @@ Status RunCursor::Advance() {
     }
     if (!eof) {
       valid_ = true;
+      --limit_remaining_;
       return Status::OK();
     }
     forward_.reset();
@@ -42,54 +55,76 @@ Status RunCursor::Advance() {
     }
     const RunSegment& seg = run_.segments[segment_++];
     if (seg.count == 0) continue;
+    if (skip_remaining_ >= seg.count) {
+      // The slice starts past this whole segment: account for it from its
+      // metadata count without opening any file.
+      skip_remaining_ -= seg.count;
+      continue;
+    }
     if (seg.reverse) {
       reverse_ = std::make_unique<ReverseRunReader>(env_, seg.path,
                                                     seg.num_files,
                                                     block_bytes_);
       TWRS_RETURN_IF_ERROR(reverse_->status());
-    } else if (prefetch_blocks_ > 0) {
+      if (skip_remaining_ > 0) {
+        TWRS_RETURN_IF_ERROR(reverse_->SkipRecords(skip_remaining_));
+      }
+    } else {
       std::unique_ptr<SequentialFile> file;
       TWRS_RETURN_IF_ERROR(env_->NewSequentialFile(seg.path, &file));
-      forward_ = std::make_unique<RecordReader>(
-          std::make_unique<PrefetchingSequentialFile>(
-              std::move(file), block_bytes_, prefetch_blocks_),
-          block_bytes_);
-      TWRS_RETURN_IF_ERROR(forward_->status());
-    } else {
-      forward_ = std::make_unique<RecordReader>(env_, seg.path, block_bytes_);
+      if (skip_remaining_ > 0) {
+        // Position before wrapping: a prefetcher starts pumping from its
+        // construction point, so the skip must land on the raw handle.
+        TWRS_RETURN_IF_ERROR(file->Skip(skip_remaining_ * kRecordBytes));
+      }
+      if (prefetch_blocks_ > 0) {
+        file = std::make_unique<PrefetchingSequentialFile>(
+            std::move(file), block_bytes_, prefetch_blocks_);
+      }
+      forward_ = std::make_unique<RecordReader>(std::move(file),
+                                                block_bytes_);
       TWRS_RETURN_IF_ERROR(forward_->status());
     }
+    skip_remaining_ = 0;
   }
 }
 
-Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
-                 const MergeIoOptions& io,
-                 const std::function<Status(Key)>& emit) {
-  const size_t k = runs.size();
-  std::vector<std::unique_ptr<RunCursor>> cursors;
-  cursors.reserve(k);
+Status MergeRunCursors(std::vector<std::unique_ptr<RunCursor>>* cursors,
+                       const CancelToken* cancel,
+                       const std::function<Status(Key)>& emit) {
+  const size_t k = cursors->size();
   LoserTree tree(k);
   for (size_t i = 0; i < k; ++i) {
-    cursors.push_back(std::make_unique<RunCursor>(env, runs[i], io.block_bytes,
-                                                  io.prefetch_blocks));
-    TWRS_RETURN_IF_ERROR(cursors.back()->Init());
-    if (cursors.back()->valid()) tree.SetInitial(i, cursors.back()->key());
+    if ((*cursors)[i]->valid()) tree.SetInitial(i, (*cursors)[i]->key());
   }
   tree.Build();
   while (!tree.Exhausted()) {
-    if (IsCancelled(io.cancel)) {
+    if (IsCancelled(cancel)) {
       return Status::Cancelled("merge cancelled");
     }
     const size_t w = tree.WinnerIndex();
     TWRS_RETURN_IF_ERROR(emit(tree.WinnerKey()));
-    TWRS_RETURN_IF_ERROR(cursors[w]->Next());
-    if (cursors[w]->valid()) {
-      tree.ReplaceWinner(cursors[w]->key());
+    TWRS_RETURN_IF_ERROR((*cursors)[w]->Next());
+    if ((*cursors)[w]->valid()) {
+      tree.ReplaceWinner((*cursors)[w]->key());
     } else {
       tree.RetireWinner();
     }
   }
   return Status::OK();
+}
+
+Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
+                 const MergeIoOptions& io,
+                 const std::function<Status(Key)>& emit) {
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  cursors.reserve(runs.size());
+  for (const RunInfo& run : runs) {
+    cursors.push_back(std::make_unique<RunCursor>(env, run, io.block_bytes,
+                                                  io.prefetch_blocks));
+    TWRS_RETURN_IF_ERROR(cursors.back()->Init());
+  }
+  return MergeRunCursors(&cursors, io.cancel, emit);
 }
 
 Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
@@ -100,13 +135,11 @@ Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
   return KWayMerge(env, runs, io, emit);
 }
 
-Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
-                       const MergeIoOptions& io,
-                       const std::string& output_path, RunInfo* out) {
-  std::unique_ptr<RecordWriter> writer;
-  TWRS_RETURN_IF_ERROR(MakeAsyncRecordWriter(env, output_path, io.block_bytes,
-                                             io.pool, io.async_buffer_bytes,
-                                             &writer));
+Status KWayMergeToSink(Env* env, const std::vector<RunInfo>& runs,
+                       const MergeIoOptions& io, MergeSink* sink,
+                       RunInfo* out) {
+  RecordWriter writer(std::make_unique<MergeSinkFile>(sink), io.block_bytes);
+  TWRS_RETURN_IF_ERROR(writer.status());
   bool first = true;
   Key min_key = 0;
   Key max_key = 0;
@@ -116,21 +149,31 @@ Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
       first = false;
     }
     max_key = key;
-    return writer->Append(key);
+    return writer.Append(key);
   }));
-  TWRS_RETURN_IF_ERROR(writer->Finish());
+  TWRS_RETURN_IF_ERROR(writer.Finish());
   if (out != nullptr) {
     RunInfo info;
     RunSegment seg;
-    seg.path = output_path;
     seg.reverse = false;
-    seg.count = writer->count();
+    seg.count = writer.count();
     info.segments.push_back(std::move(seg));
-    info.length = writer->count();
+    info.length = writer.count();
     info.min_key = min_key;
     info.max_key = max_key;
     *out = std::move(info);
   }
+  return Status::OK();
+}
+
+Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
+                       const MergeIoOptions& io,
+                       const std::string& output_path, RunInfo* out) {
+  std::unique_ptr<MergeSink> sink;
+  TWRS_RETURN_IF_ERROR(MakeAppendMergeSink(env, output_path, io.pool,
+                                           io.async_buffer_bytes, &sink));
+  TWRS_RETURN_IF_ERROR(KWayMergeToSink(env, runs, io, sink.get(), out));
+  if (out != nullptr) out->segments[0].path = output_path;
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include "exec/async_io.h"
 #include "exec/thread_pool.h"
 #include "io/env.h"
+#include "io/merge_sink.h"
 #include "io/record_io.h"
 #include "io/reverse_run_file.h"
 #include "util/cancel.h"
@@ -53,6 +54,15 @@ class RunCursor {
   /// Opens the first segment and positions on the first record.
   Status Init();
 
+  /// Positions on record `skip` of the run (0-based across segments) and
+  /// caps iteration at `limit` records — the ranged cursor of a partial
+  /// merge. Whole segments before the slice are skipped using their
+  /// metadata counts without opening them; within the boundary segment,
+  /// forward files skip by byte offset and reverse streams through
+  /// ReverseRunReader::SkipRecords, so positioning costs header reads and
+  /// seeks, not a prefix scan.
+  Status InitSlice(uint64_t skip, uint64_t limit);
+
   bool valid() const { return valid_; }
 
   /// Current key. Requires valid().
@@ -73,9 +83,19 @@ class RunCursor {
   size_t segment_ = 0;
   std::unique_ptr<RecordReader> forward_;
   std::unique_ptr<ReverseRunReader> reverse_;
+  uint64_t skip_remaining_ = 0;
+  uint64_t limit_remaining_ = 0;
   Key current_ = 0;
   bool valid_ = false;
 };
+
+/// Runs the loser tree over already-initialized cursors, emitting the
+/// merged non-decreasing key stream. The shared core of KWayMerge and the
+/// partitioned final merge's ranged partial merges. Polls `cancel` (when
+/// non-null) every record.
+Status MergeRunCursors(std::vector<std::unique_ptr<RunCursor>>* cursors,
+                       const CancelToken* cancel,
+                       const std::function<Status(Key)>& emit);
 
 /// Merges `runs` into a single non-decreasing stream delivered to `emit`
 /// (§2.1.2, k-way merge over a loser tree). `io.block_bytes` is the read
@@ -89,7 +109,17 @@ Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
                  size_t block_bytes,
                  const std::function<Status(Key)>& emit);
 
-/// Convenience overload merging into a record file at `output_path`;
+/// Merges `runs` through the loser tree into `sink` (record-encoded,
+/// block-buffered). Finishes the sink, so a RangeMergeSink's exact-fill
+/// check runs before this returns. `*out` (if non-null) receives the
+/// record count and key bounds; its segment path is left empty for the
+/// caller, who knows the backing file.
+Status KWayMergeToSink(Env* env, const std::vector<RunInfo>& runs,
+                       const MergeIoOptions& io, MergeSink* sink,
+                       RunInfo* out);
+
+/// Convenience overload merging into a record file at `output_path`
+/// through an AppendMergeSink (async-flushed when io.pool is set);
 /// returns the resulting single run through `*out` if non-null.
 Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
                        const MergeIoOptions& io,

@@ -1,10 +1,12 @@
 #include "merge/merge_plan.h"
 
+#include <algorithm>
 #include <deque>
 #include <utility>
 #include <vector>
 
 #include "merge/kway_merge.h"
+#include "merge/partitioned_merge.h"
 
 namespace twrs {
 
@@ -37,6 +39,16 @@ Status MergeRuns(Env* env, std::vector<RunInfo> runs,
   io.cancel = options.cancel;
 
   if (queue.empty()) {
+    if (options.output_range.positioned) {
+      // The shared output already exists; an empty merge owns an empty
+      // range and must not touch (let alone truncate) the file.
+      if (options.output_range.length != 0) {
+        return Status::Corruption(
+            "empty merge assigned a non-empty output range");
+      }
+      if (stats != nullptr) *stats = local;
+      return Status::OK();
+    }
     // Sorting an empty input produces an empty output file.
     RecordWriter writer(env, output_path, options.block_bytes);
     TWRS_RETURN_IF_ERROR(writer.status());
@@ -111,8 +123,16 @@ Status MergeRuns(Env* env, std::vector<RunInfo> runs,
   std::vector<RunInfo> final_batch(queue.begin(), queue.end());
   queue.clear();
   RunInfo final_run;
-  TWRS_RETURN_IF_ERROR(
-      KWayMergeToFile(env, final_batch, io, output_path, &final_run));
+  FinalMergeSpec final_spec;
+  final_spec.range = options.output_range;
+  final_spec.partitions =
+      options.pool != nullptr ? std::max<size_t>(1, options.final_merge_threads)
+                              : 1;
+  final_spec.sample_size = options.final_sample_size;
+  final_spec.sample_seed = options.final_sample_seed;
+  final_spec.pool = options.pool;
+  TWRS_RETURN_IF_ERROR(FinalMergeToOutput(env, final_batch, io, final_spec,
+                                          output_path, &final_run));
   ++local.merge_steps;
   local.records_written += final_run.length;
   if (options.remove_inputs) {

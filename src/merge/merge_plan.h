@@ -9,6 +9,7 @@
 #include "exec/thread_pool.h"
 #include "io/env.h"
 #include "io/record_io.h"
+#include "merge/partitioned_merge.h"
 #include "util/cancel.h"
 #include "util/status.h"
 
@@ -49,6 +50,25 @@ struct MergeOptions {
   /// MergeIoOptions, every record inside each k-way merge. Must outlive
   /// the merge.
   const CancelToken* cancel = nullptr;
+
+  /// Partitions of the *final* merge step. Values > 1 (with a pool) split
+  /// the key domain by sampled splitters and run that many partial
+  /// loser-tree merges concurrently, each writing its disjoint byte range
+  /// of the output through a RangeMergeSink — byte-identical to the serial
+  /// pass, since records are bare keys and the sorted stream is unique.
+  /// 0 and 1 keep the final pass serial. Stats are unaffected: the final
+  /// pass still counts as one merge step writing every record once.
+  size_t final_merge_threads = 1;
+
+  /// Splitter sampling knobs of the partitioned final merge.
+  size_t final_sample_size = 256;
+  uint64_t final_sample_seed = 1;
+
+  /// Output placement of the final step. Default: append-create
+  /// `output_path`. Positioned mode writes into the caller-assigned byte
+  /// range of the *existing* output without truncating it — how each
+  /// shard's merge lands directly in the sharded sorter's shared output.
+  MergeOutputRange output_range;
 };
 
 /// Merge-phase statistics.

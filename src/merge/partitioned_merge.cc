@@ -1,0 +1,379 @@
+#include "merge/partitioned_merge.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "io/merge_sink.h"
+#include "io/reverse_run_file.h"
+#include "shard/splitters.h"
+
+namespace twrs {
+
+namespace {
+
+/// Lower-bound searches over one sorted forward record file using
+/// positioned reads. Two-granularity search keeps the probe count low on
+/// seek-bound devices: a record-granular binary search would pay ~log2(n)
+/// seeks per splitter, while probing block *starts* first and then reading
+/// the one boundary block narrows the same range in ~log2(n/records_per_
+/// block) tiny probes plus one block read — and consecutive splitters
+/// usually land in the same cached block.
+class ForwardSegmentSearcher {
+ public:
+  ForwardSegmentSearcher(Env* env, const RunSegment& seg, size_t block_bytes)
+      : count_(seg.count),
+        records_per_block_(std::max<size_t>(1, block_bytes / kRecordBytes)) {
+    status_ = env->NewRandomReadFile(seg.path, &file_);
+  }
+
+  const Status& status() const { return status_; }
+
+  /// First record index in [lo_hint, count) whose key is >= bound; count_
+  /// when every key is smaller. Requires ascending calls (lo_hint from the
+  /// previous result) for the block cache to pay off, but is correct for
+  /// any hint.
+  Status LowerBound(Key bound, uint64_t lo_hint, uint64_t* index) {
+    TWRS_RETURN_IF_ERROR(status_);
+    // Phase A: binary search over block-start records.
+    uint64_t lo_block = lo_hint / records_per_block_;
+    uint64_t hi_block = (count_ + records_per_block_ - 1) / records_per_block_;
+    while (lo_block < hi_block) {
+      const uint64_t mid = lo_block + (hi_block - lo_block) / 2;
+      Key key;
+      TWRS_RETURN_IF_ERROR(KeyAt(mid * records_per_block_, &key));
+      if (key < bound) {
+        lo_block = mid + 1;
+      } else {
+        hi_block = mid;
+      }
+    }
+    // Every key of block lo_block (if it exists) is >= bound; the boundary
+    // lies inside the previous block, unless that one starts >= bound too.
+    if (lo_block == 0) {
+      *index = 0;
+      return Status::OK();
+    }
+    const uint64_t block = lo_block - 1;
+    TWRS_RETURN_IF_ERROR(LoadBlock(block));
+    const uint64_t base = block * records_per_block_;
+    uint64_t lo = 0;
+    uint64_t hi = cached_records_;
+    while (lo < hi) {
+      const uint64_t mid = lo + (hi - lo) / 2;
+      if (DecodeKey(cache_.data() + mid * kRecordBytes) < bound) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    *index = base + lo;
+    return Status::OK();
+  }
+
+ private:
+  Status KeyAt(uint64_t index, Key* key) {
+    uint8_t buf[kRecordBytes];
+    TWRS_RETURN_IF_ERROR(file_->ReadAt(index * kRecordBytes, buf,
+                                       kRecordBytes));
+    *key = DecodeKey(buf);
+    return Status::OK();
+  }
+
+  Status LoadBlock(uint64_t block) {
+    if (cached_block_ == static_cast<int64_t>(block)) return Status::OK();
+    const uint64_t first = block * records_per_block_;
+    const uint64_t records =
+        std::min<uint64_t>(records_per_block_, count_ - first);
+    cache_.resize(records * kRecordBytes);
+    TWRS_RETURN_IF_ERROR(file_->ReadAt(first * kRecordBytes, cache_.data(),
+                                       cache_.size()));
+    cached_block_ = static_cast<int64_t>(block);
+    cached_records_ = records;
+    return Status::OK();
+  }
+
+  Status status_;
+  std::unique_ptr<RandomRWFile> file_;
+  const uint64_t count_;
+  const size_t records_per_block_;
+  std::vector<uint8_t> cache_;
+  int64_t cached_block_ = -1;
+  uint64_t cached_records_ = 0;
+};
+
+/// One run's slice of a partition: `skip` records in, `length` records long.
+struct RunSlice {
+  uint64_t skip = 0;
+  uint64_t length = 0;
+};
+
+/// Merges one partition: every run's slice for partition `j`, written to
+/// its byte range of the shared output through `sink`.
+Status MergePartition(Env* env, const std::vector<RunInfo>& runs,
+                      const std::vector<RunSlice>& slices,
+                      const MergeIoOptions& io, MergeSink* sink) {
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  cursors.reserve(runs.size());
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (slices[r].length == 0) continue;
+    cursors.push_back(std::make_unique<RunCursor>(env, runs[r],
+                                                  io.block_bytes,
+                                                  io.prefetch_blocks));
+    TWRS_RETURN_IF_ERROR(
+        cursors.back()->InitSlice(slices[r].skip, slices[r].length));
+  }
+  RecordWriter writer(std::make_unique<MergeSinkFile>(sink), io.block_bytes);
+  TWRS_RETURN_IF_ERROR(writer.status());
+  TWRS_RETURN_IF_ERROR(MergeRunCursors(
+      &cursors, io.cancel, [&](Key key) { return writer.Append(key); }));
+  return writer.Finish();
+}
+
+/// Key bounds across runs, from the exact per-run metadata.
+void RunBounds(const std::vector<RunInfo>& runs, Key* min_key, Key* max_key) {
+  bool first = true;
+  for (const RunInfo& run : runs) {
+    if (run.length == 0) continue;
+    if (first || run.min_key < *min_key) *min_key = run.min_key;
+    if (first || run.max_key > *max_key) *max_key = run.max_key;
+    first = false;
+  }
+}
+
+}  // namespace
+
+Status PartitionPointsForRun(Env* env, const RunInfo& run,
+                             const std::vector<Key>& splitters,
+                             size_t block_bytes,
+                             std::vector<uint64_t>* below) {
+  below->assign(splitters.size(), 0);
+  if (splitters.empty()) return Status::OK();
+  for (const RunSegment& seg : run.segments) {
+    if (seg.count == 0) continue;
+    if (seg.reverse) {
+      // One ascending scan counts every splitter at once; once a key
+      // reaches the largest splitter, later keys cannot change any count.
+      ReverseRunReader reader(env, seg.path, seg.num_files, block_bytes);
+      TWRS_RETURN_IF_ERROR(reader.status());
+      uint64_t scanned = 0;
+      size_t s = 0;
+      while (s < splitters.size()) {
+        Key key;
+        bool eof;
+        TWRS_RETURN_IF_ERROR(reader.Next(&key, &eof));
+        if (eof) break;
+        while (s < splitters.size() && key >= splitters[s]) {
+          (*below)[s] += scanned;
+          ++s;
+        }
+        ++scanned;
+      }
+      // Splitters the scan never reached: every record sits below them.
+      for (; s < splitters.size(); ++s) (*below)[s] += seg.count;
+    } else {
+      ForwardSegmentSearcher searcher(env, seg, block_bytes);
+      TWRS_RETURN_IF_ERROR(searcher.status());
+      uint64_t lo = 0;
+      for (size_t s = 0; s < splitters.size(); ++s) {
+        TWRS_RETURN_IF_ERROR(searcher.LowerBound(splitters[s], lo, &lo));
+        (*below)[s] += lo;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SampleRunKeys(Env* env, const std::vector<RunInfo>& runs,
+                     size_t sample_size, uint64_t seed,
+                     std::vector<Key>* sample) {
+  ReservoirSampler sampler(std::max<size_t>(1, sample_size), seed);
+  uint64_t forward_total = 0;
+  for (const RunInfo& run : runs) {
+    for (const RunSegment& seg : run.segments) {
+      if (!seg.reverse) forward_total += seg.count;
+    }
+  }
+  for (const RunInfo& run : runs) {
+    if (run.length == 0) continue;
+    // The exact bounds are free and anchor the sample even for runs whose
+    // bulk sits in reverse segments (not probed below).
+    sampler.Add(run.min_key);
+    sampler.Add(run.max_key);
+    for (const RunSegment& seg : run.segments) {
+      if (seg.reverse || seg.count == 0) continue;
+      uint64_t probes = forward_total > 0
+                            ? sample_size * seg.count / forward_total
+                            : 0;
+      probes = std::min<uint64_t>(std::max<uint64_t>(probes, 1), seg.count);
+      std::unique_ptr<RandomRWFile> file;
+      TWRS_RETURN_IF_ERROR(env->NewRandomReadFile(seg.path, &file));
+      for (uint64_t p = 0; p < probes; ++p) {
+        // Stratified midpoints: evenly spaced probes approximate the
+        // segment's quantiles better than uniform positions would.
+        const uint64_t index = (2 * p + 1) * seg.count / (2 * probes);
+        uint8_t buf[kRecordBytes];
+        TWRS_RETURN_IF_ERROR(
+            file->ReadAt(index * kRecordBytes, buf, kRecordBytes));
+        sampler.Add(DecodeKey(buf));
+      }
+      TWRS_RETURN_IF_ERROR(file->Close());
+    }
+  }
+  *sample = sampler.sample();
+  return Status::OK();
+}
+
+Status FinalMergeToOutput(Env* env, const std::vector<RunInfo>& runs,
+                          const MergeIoOptions& io, const FinalMergeSpec& spec,
+                          const std::string& output_path, RunInfo* out) {
+  uint64_t total_records = 0;
+  for (const RunInfo& run : runs) total_records += run.length;
+  const uint64_t total_bytes = total_records * kRecordBytes;
+  if (spec.range.positioned && spec.range.length != total_bytes) {
+    return Status::Corruption(
+        "final merge holds " + std::to_string(total_bytes) +
+        " bytes of runs but was assigned a range of " +
+        std::to_string(spec.range.length));
+  }
+
+  // Decide the effective partition count. Everything that degenerates —
+  // no pool, one run, tiny inputs, splitters collapsed by skew — falls
+  // back to a single merge, which is always correct. Splitter sampling
+  // and boundary location cost positioned probes (seeks on a spinning
+  // disk), a fixed cost per partition: a partition must span at least a
+  // few I/O blocks to amortize it, so the requested count is clamped to
+  // what the data volume supports before any probe is paid.
+  std::vector<Key> splitters;
+  size_t partitions_wanted = 0;
+  if (spec.partitions > 1 && spec.pool != nullptr && runs.size() > 1) {
+    const uint64_t min_partition_bytes =
+        16 * std::max<size_t>(1, io.block_bytes);
+    partitions_wanted = static_cast<size_t>(
+        std::min<uint64_t>(spec.partitions,
+                           total_bytes / min_partition_bytes));
+  }
+  if (partitions_wanted > 1) {
+    // More probes than ~64 per splitter stop improving balance; tying the
+    // sample to the clamped partition count keeps the fixed seek cost
+    // proportional to the parallelism actually bought.
+    const size_t sample_size =
+        std::min<size_t>(spec.sample_size, 64 * partitions_wanted);
+    std::vector<Key> sample;
+    TWRS_RETURN_IF_ERROR(SampleRunKeys(env, runs, sample_size,
+                                       spec.sample_seed, &sample));
+    splitters = PickSplitters(std::move(sample), partitions_wanted);
+  }
+
+  if (splitters.empty()) {
+    if (!spec.range.positioned) {
+      return KWayMergeToFile(env, runs, io, output_path, out);
+    }
+    std::unique_ptr<MergeSink> sink;
+    TWRS_RETURN_IF_ERROR(MakeRangeMergeSink(env, output_path,
+                                            spec.range.offset,
+                                            spec.range.length, io.pool,
+                                            io.async_buffer_bytes, &sink));
+    TWRS_RETURN_IF_ERROR(KWayMergeToSink(env, runs, io, sink.get(), out));
+    if (out != nullptr) out->segments[0].path = output_path;
+    return Status::OK();
+  }
+
+  // Exact slice boundaries: for each run, the record index where every
+  // splitter's key domain begins. Runs are independent, and the
+  // reverse-segment path is a real sequential scan (it cannot stop before
+  // the largest splitter), so the per-run searches fan out on the pool
+  // instead of running serially in front of the partial merges.
+  const size_t partitions = splitters.size() + 1;
+  std::vector<std::vector<uint64_t>> below(runs.size());
+  {
+    std::vector<TaskHandle> boundary_tasks;
+    boundary_tasks.reserve(runs.size());
+    for (size_t r = 0; r < runs.size(); ++r) {
+      const RunInfo* run = &runs[r];
+      std::vector<uint64_t>* run_below = &below[r];
+      boundary_tasks.push_back(
+          spec.pool->Submit([env, run, &splitters, &io, run_below] {
+            return PartitionPointsForRun(env, *run, splitters,
+                                         io.block_bytes, run_below);
+          }));
+    }
+    Status first_error;
+    for (TaskHandle& handle : boundary_tasks) {
+      Status s = handle.Wait();
+      if (!s.ok() && first_error.ok()) first_error = std::move(s);
+    }
+    TWRS_RETURN_IF_ERROR(first_error);
+  }
+  std::vector<std::vector<RunSlice>> slices(partitions);
+  std::vector<uint64_t> partition_records(partitions, 0);
+  for (size_t j = 0; j < partitions; ++j) {
+    slices[j].resize(runs.size());
+    for (size_t r = 0; r < runs.size(); ++r) {
+      const uint64_t lo = j == 0 ? 0 : below[r][j - 1];
+      const uint64_t hi = j + 1 == partitions ? runs[r].length : below[r][j];
+      slices[j][r].skip = lo;
+      slices[j][r].length = hi - lo;
+      partition_records[j] += hi - lo;
+    }
+  }
+
+  bool created = false;
+  if (!spec.range.positioned) {
+    // Truncate-create the shared output exactly once; every partition then
+    // reopens it and extends it by writing its range.
+    std::unique_ptr<RandomRWFile> file;
+    TWRS_RETURN_IF_ERROR(env->NewRandomRWFile(output_path, &file));
+    TWRS_RETURN_IF_ERROR(file->Close());
+    created = true;
+  }
+
+  std::vector<TaskHandle> handles;
+  handles.reserve(partitions);
+  uint64_t offset = spec.range.offset;
+  Status first_error;
+  for (size_t j = 0; j < partitions; ++j) {
+    const uint64_t length = partition_records[j] * kRecordBytes;
+    if (length == 0) continue;
+    const uint64_t partition_offset = offset;
+    offset += length;
+    const std::vector<RunSlice>* partition_slices = &slices[j];
+    handles.push_back(spec.pool->Submit(
+        [env, &runs, partition_slices, &io, &output_path, partition_offset,
+         length] {
+          std::unique_ptr<MergeSink> sink;
+          TWRS_RETURN_IF_ERROR(MakeRangeMergeSink(
+              env, output_path, partition_offset, length, io.pool,
+              io.async_buffer_bytes, &sink));
+          return MergePartition(env, runs, *partition_slices, io, sink.get());
+        }));
+  }
+  // Collect every partial merge before reporting the first failure, so no
+  // task still references local state when this frame unwinds.
+  for (TaskHandle& handle : handles) {
+    Status s = handle.Wait();
+    if (!s.ok() && first_error.ok()) first_error = std::move(s);
+  }
+  if (!first_error.ok()) {
+    // A torn positioned file has holes rather than a clean prefix; remove
+    // it when this call created it (a shared output belongs to its
+    // creator's cleanup).
+    if (created) env->RemoveFile(output_path);  // best-effort
+    return first_error;
+  }
+
+  if (out != nullptr) {
+    RunInfo info;
+    RunSegment seg;
+    seg.path = output_path;
+    seg.reverse = false;
+    seg.count = total_records;
+    info.segments.push_back(std::move(seg));
+    info.length = total_records;
+    RunBounds(runs, &info.min_key, &info.max_key);
+    *out = std::move(info);
+  }
+  return Status::OK();
+}
+
+}  // namespace twrs

@@ -1,0 +1,79 @@
+#ifndef TWRS_MERGE_PARTITIONED_MERGE_H_
+#define TWRS_MERGE_PARTITIONED_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/record.h"
+#include "core/run_sink.h"
+#include "exec/thread_pool.h"
+#include "io/env.h"
+#include "merge/kway_merge.h"
+#include "util/status.h"
+
+namespace twrs {
+
+/// Where a final merge puts its bytes. In append mode (the default) the
+/// merge creates `output_path`. In positioned mode it writes into
+/// [offset, offset + `length`) of the *existing* file at `output_path`
+/// via RandomRWFile::WriteAt without truncating — the sharded sorter's
+/// direct-write final pass, where every shard's merge owns one range of
+/// the shared output.
+struct MergeOutputRange {
+  bool positioned = false;
+  uint64_t offset = 0;
+  uint64_t length = 0;  ///< exact bytes the merge must produce
+};
+
+/// Configuration of one final merge step (the last pass of MergeRuns).
+struct FinalMergeSpec {
+  MergeOutputRange range;
+
+  /// Target number of concurrent partial merges; values < 2 (or a null
+  /// pool, or degenerate splitters) fall back to one serial merge.
+  size_t partitions = 1;
+
+  /// Splitter sampling knobs. Sampling probes forward segments with
+  /// positioned reads, so it costs seeks, not a data pass.
+  size_t sample_size = 256;
+  uint64_t sample_seed = 1;
+
+  /// Pool the partial merges (and their sinks' background flushes) run on.
+  ThreadPool* pool = nullptr;
+};
+
+/// Computes, for each splitter, how many records of `run` hold keys
+/// strictly below it (`below->at(s)` for splitters[s], which must be
+/// ascending and distinct). Forward segments are binary-searched with
+/// block-granular positioned reads; reverse segments are scanned in one
+/// ascending pass that stops early at the largest splitter. These counts
+/// are what make the partitioned merge's output offsets exact.
+Status PartitionPointsForRun(Env* env, const RunInfo& run,
+                             const std::vector<Key>& splitters,
+                             size_t block_bytes,
+                             std::vector<uint64_t>* below);
+
+/// Samples splitter candidates from `runs`: every run's key bounds plus
+/// positioned probes of its forward segments, pooled through a
+/// ReservoirSampler. Deterministic for a fixed seed.
+Status SampleRunKeys(Env* env, const std::vector<RunInfo>& runs,
+                     size_t sample_size, uint64_t seed,
+                     std::vector<Key>* sample);
+
+/// The final merge step of MergeRuns: merges `runs` into the output
+/// described by `spec`, either as one merge or as `spec.partitions`
+/// concurrent partial loser-tree merges over key-domain slices, each
+/// writing its disjoint byte range through a RangeMergeSink. Output bytes
+/// are identical to the serial pass in every mode (records are bare keys,
+/// so the fully sorted stream is unique). On failure an output file this
+/// call created is removed — a torn positioned file has holes, unlike the
+/// append path's clean prefix — while a shared positioned output is left
+/// to its creator's cleanup.
+Status FinalMergeToOutput(Env* env, const std::vector<RunInfo>& runs,
+                          const MergeIoOptions& io, const FinalMergeSpec& spec,
+                          const std::string& output_path, RunInfo* out);
+
+}  // namespace twrs
+
+#endif  // TWRS_MERGE_PARTITIONED_MERGE_H_

@@ -128,6 +128,11 @@ Status RunGenerationPhase::Run(SortContext* context) {
   }
   context->result.run_gen_seconds = watch.ElapsedSeconds();
   context->runs = sink.runs();
+  if (options.on_merge_begin) {
+    // The heaps are gone; from here on the sort holds only merge buffers.
+    // Lets a governor reclaim the difference while the merge runs.
+    options.on_merge_begin(MergePhaseMemoryRecords(options));
+  }
   return Status::OK();
 }
 
@@ -145,6 +150,11 @@ Status MergePlanningPhase::Run(SortContext* context) {
   plan.prefetch_blocks = options.parallel.prefetch_blocks;
   plan.parallel_leaf_merges =
       context->pool != nullptr && options.parallel.parallel_leaf_merges;
+  // Partitioned final merges need workers to run on; without a pool the
+  // knob quietly degrades to the serial pass.
+  plan.final_merge_threads =
+      context->pool != nullptr ? options.parallel.final_merge_threads : 1;
+  plan.output_range = context->output_range;
   plan.cancel = context->cancel;
   context->merge_plan = plan;
   return Status::OK();

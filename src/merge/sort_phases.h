@@ -38,6 +38,10 @@ struct SortContext {
   /// Runs produced by the run-generation phase.
   std::vector<RunInfo> runs;
 
+  /// Output placement of the final merge: default append-created file, or
+  /// a positioned byte range of a shared output (SortIntoRange).
+  MergeOutputRange output_range;
+
   /// Merge configuration produced by the planning phase.
   MergeOptions merge_plan;
 

@@ -12,6 +12,12 @@ void MemoryLease::Release() {
   }
 }
 
+void MemoryLease::Downsize(size_t records) {
+  if (governor_ == nullptr || records >= records_) return;
+  governor_->ReleaseDownsized(records_ - records);
+  records_ = records;
+}
+
 MemoryGovernor::MemoryGovernor(MemoryGovernorOptions options)
     : options_(options) {
   // A zero-capacity governor could never grant anything and every Reserve
@@ -88,6 +94,13 @@ void MemoryGovernor::Release(size_t records) {
   cv_.notify_all();
 }
 
+void MemoryGovernor::ReleaseDownsized(size_t records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_ -= std::min(records, reserved_);
+  ++downsized_leases_;
+  cv_.notify_all();
+}
+
 MemoryGovernorStats MemoryGovernor::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   MemoryGovernorStats stats;
@@ -96,6 +109,7 @@ MemoryGovernorStats MemoryGovernor::Stats() const {
   stats.waiting = waiters_.size();
   stats.total_leases = total_leases_;
   stats.shrunk_leases = shrunk_leases_;
+  stats.downsized_leases = downsized_leases_;
   return stats;
 }
 

@@ -43,6 +43,14 @@ class MemoryLease {
   /// Granted budget in records; 0 for an empty lease.
   size_t records() const { return records_; }
 
+  /// Shrinks the lease to `records`, returning the difference to the
+  /// governor immediately (waiters are woken, so a queued job can admit
+  /// while this one keeps running). No-op when `records` is not smaller
+  /// than the current grant. The SortService calls this when a job leaves
+  /// run generation: the merge phase needs a fraction of the heap budget,
+  /// and holding the rest would only park the admission queue.
+  void Downsize(size_t records);
+
   /// Returns the records to the governor. Idempotent.
   void Release();
 
@@ -78,6 +86,7 @@ struct MemoryGovernorStats {
   size_t waiting = 0;          ///< callers blocked in Reserve
   uint64_t total_leases = 0;   ///< leases granted so far
   uint64_t shrunk_leases = 0;  ///< leases granted below their nominal ask
+  uint64_t downsized_leases = 0;  ///< leases shrunk mid-flight via Downsize
 };
 
 /// Process-wide arbiter of the record budget shared by concurrent sorts.
@@ -126,6 +135,9 @@ class MemoryGovernor {
 
   void Release(size_t records);
 
+  /// Release for a mid-flight Downsize: also counts the event.
+  void ReleaseDownsized(size_t records);
+
   MemoryGovernorOptions options_;
 
   mutable std::mutex mu_;
@@ -137,6 +149,7 @@ class MemoryGovernor {
   uint64_t next_ticket_ = 0;
   uint64_t total_leases_ = 0;
   uint64_t shrunk_leases_ = 0;
+  uint64_t downsized_leases_ = 0;
 };
 
 }  // namespace twrs

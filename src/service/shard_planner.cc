@@ -33,7 +33,8 @@ ShardPlan PlanShardCount(const ShardPlanInputs& inputs) {
   ShardPlan plan;
   const size_t memory = std::max<size_t>(1, inputs.memory_records);
   if (inputs.input_records <= memory) {
-    // One in-memory-sized sort; splitting it only adds partition passes.
+    // One in-memory-sized sort; splitting it only adds partition passes,
+    // and its final merge consumes a handful of runs at most.
     plan.shards = 1;
     plan.limit = ShardPlanLimit::kInputFitsInMemory;
     return plan;
@@ -62,6 +63,17 @@ ShardPlan PlanShardCount(const ShardPlanInputs& inputs) {
     plan.limit = ShardPlanLimit::kMaxShards;
   }
   plan.shards = static_cast<size_t>(shards);
+
+  // The last pass is range-partitionable now: give each shard's final
+  // merge an equal slice of the workers the shard count left free, capped
+  // by that merge's expected run count (2WRS runs average ~2x memory, so
+  // more partitions than runs/2 would mostly merge air).
+  const uint64_t per_shard_records = inputs.input_records / plan.shards;
+  const uint64_t expected_runs =
+      std::max<uint64_t>(1, per_shard_records / (2 * memory));
+  uint64_t final_threads = std::max<size_t>(1, free_workers / plan.shards);
+  final_threads = std::min(final_threads, expected_runs);
+  plan.final_merge_threads = static_cast<size_t>(final_threads);
   return plan;
 }
 

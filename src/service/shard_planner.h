@@ -40,6 +40,13 @@ const char* ShardPlanLimitName(ShardPlanLimit limit);
 struct ShardPlan {
   size_t shards = 1;
   ShardPlanLimit limit = ShardPlanLimit::kInputFitsInMemory;
+
+  /// Partitions each sort's final merge pass should use (1 = serial).
+  /// Since that pass became range-partitionable, the planner hands the
+  /// workers not already claimed by concurrent shard sorts to the final
+  /// merges instead of treating the last pass as serial; each partition
+  /// is a partial loser-tree merge writing its own byte range.
+  size_t final_merge_threads = 1;
 };
 
 /// Picks the shard count for one sort from the input size, the memory
@@ -52,7 +59,8 @@ struct ShardPlan {
 /// long runs still amortize the per-shard setup, small enough that a
 /// shard's merge stays a single pass. The count is then clipped to the
 /// executor's free workers (a plan wider than the worker set just queues)
-/// and the configured ceiling.
+/// and the configured ceiling. Free workers the shard count did not claim
+/// are spread over the shards' final merge passes (final_merge_threads).
 ShardPlan PlanShardCount(const ShardPlanInputs& inputs);
 
 }  // namespace twrs

@@ -38,7 +38,9 @@ struct SortJob {
   JobState state = JobState::kQueued;
   Status status;
   size_t granted_memory_records = 0;
+  size_t downsized_memory_records = 0;
   size_t planned_shards = 0;
+  size_t planned_final_merge_threads = 0;
   ShardPlanLimit plan_limit = ShardPlanLimit::kInputFitsInMemory;
   double queue_seconds = 0.0;
   double total_seconds = 0.0;
@@ -115,7 +117,9 @@ SortJobStats JobHandle::stats() const {
   stats.status = job_->status;
   stats.nominal_memory_records = job_->spec.sort.memory_records;
   stats.granted_memory_records = job_->granted_memory_records;
+  stats.downsized_memory_records = job_->downsized_memory_records;
   stats.planned_shards = job_->planned_shards;
+  stats.planned_final_merge_threads = job_->planned_final_merge_threads;
   stats.plan_limit = job_->plan_limit;
   stats.queue_seconds = job_->queue_seconds;
   stats.total_seconds = job_->total_seconds;
@@ -284,10 +288,15 @@ void SortService::SchedulerLoop() {
 
 void SortService::RunJob(std::shared_ptr<SortJob> job,
                          std::shared_ptr<MemoryLease> lease, ShardPlan plan) {
+  // A pinned spec value overrides the planner; 0 means planner's choice.
+  const size_t final_merge_threads = job->spec.final_merge_threads != 0
+                                         ? job->spec.final_merge_threads
+                                         : plan.final_merge_threads;
   {
     std::lock_guard<std::mutex> lock(job->mu);
     job->state = JobState::kRunning;
     job->planned_shards = plan.shards;
+    job->planned_final_merge_threads = final_merge_threads;
     job->plan_limit = plan.limit;
   }
 
@@ -298,11 +307,32 @@ void SortService::RunJob(std::shared_ptr<SortJob> job,
   sharded.sort = job->spec.sort;
   sharded.sort.memory_records = lease->records();  // the governed budget
   sharded.sort.cancel = &job->cancel;
+  sharded.sort.parallel.final_merge_threads =
+      std::max<size_t>(1, final_merge_threads);
+  if (sharded.sort.parallel.worker_threads == 0 &&
+      sharded.sort.parallel.final_merge_threads > 1) {
+    // The partitioned final merge runs on the shared executor's pool;
+    // worker_threads > 0 is what switches pool borrowing on (the pool's
+    // size stays the executor's capacity either way).
+    sharded.sort.parallel.worker_threads = 1;
+  }
   sharded.executor = executor_;
   if (sharded.sort.parallel.executor == nullptr &&
       !sharded.sort.parallel.dedicated_pool) {
     sharded.sort.parallel.executor = executor_;
   }
+  // Dynamic lease renegotiation (the merge needs far less memory than the
+  // heaps): once every shard's run generation is over, return the surplus
+  // so the governor can admit the next queued job while this one merges.
+  sharded.sort.on_merge_begin = [job, lease](size_t merge_records) {
+    const size_t before = lease->records();
+    lease->Downsize(merge_records);
+    const size_t after = lease->records();
+    if (after < before) {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->downsized_memory_records = after;
+    }
+  };
 
   ShardedSorter sorter(env_, sharded);
   ShardedSortResult result;

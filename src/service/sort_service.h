@@ -43,6 +43,11 @@ struct SortJobSpec {
   /// fixed shard count.
   size_t shards = kAutoShards;
 
+  /// Partitions of each sort's final merge pass. 0 = let the planner pick
+  /// (free executor workers spread across the shards); 1 = serial last
+  /// pass; otherwise a fixed partition count.
+  size_t final_merge_threads = 0;
+
   /// Splitter sampling knobs of the sharded path.
   size_t sample_size = 4096;
   uint64_t sample_seed = 1;
@@ -70,7 +75,11 @@ struct SortJobStats {
 
   size_t nominal_memory_records = 0;
   size_t granted_memory_records = 0;  ///< the lease; < nominal when shrunk
+  /// Lease after the mid-flight downsize at merge begin; 0 until (and
+  /// unless) the job returned part of its budget.
+  size_t downsized_memory_records = 0;
   size_t planned_shards = 0;
+  size_t planned_final_merge_threads = 0;
   ShardPlanLimit plan_limit = ShardPlanLimit::kInputFitsInMemory;
 
   double queue_seconds = 0.0;  ///< submission → admission (lease granted)

@@ -1,6 +1,8 @@
 #include "shard/sharded_sorter.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <utility>
 
@@ -11,53 +13,6 @@
 #include "workload/generators.h"
 
 namespace twrs {
-
-void ReservoirSampler::Add(Key key) {
-  ++seen_;
-  if (sample_.size() < capacity_) {
-    sample_.push_back(key);
-    return;
-  }
-  const uint64_t slot = rng_.Uniform(seen_);
-  if (slot < capacity_) sample_[slot] = key;
-}
-
-std::vector<Key> PickSplitters(std::vector<Key> sample, size_t shards) {
-  std::vector<Key> splitters;
-  if (shards <= 1 || sample.empty()) return splitters;
-  std::sort(sample.begin(), sample.end());
-  for (size_t i = 1; i < shards; ++i) {
-    const size_t idx =
-        std::min(i * sample.size() / shards, sample.size() - 1);
-    splitters.push_back(sample[idx]);
-  }
-  splitters.erase(std::unique(splitters.begin(), splitters.end()),
-                  splitters.end());
-  return splitters;
-}
-
-namespace {
-
-/// Streams the bytes of `path` onto `out` — the concatenation step. Record
-/// files are raw key sequences, so byte-level concatenation of sorted,
-/// range-disjoint shards reproduces the serial sorter's bytes exactly.
-Status AppendFileTo(Env* env, const std::string& path, WritableFile* out,
-                    size_t block_bytes, const CancelToken* cancel) {
-  std::unique_ptr<SequentialFile> in;
-  TWRS_RETURN_IF_ERROR(env->NewSequentialFile(path, &in));
-  std::vector<uint8_t> buffer(std::max<size_t>(block_bytes, kRecordBytes));
-  for (;;) {
-    if (IsCancelled(cancel)) {
-      return Status::Cancelled("sharded sort cancelled during concatenation");
-    }
-    size_t got = 0;
-    TWRS_RETURN_IF_ERROR(in->Read(buffer.data(), buffer.size(), &got));
-    if (got > 0) TWRS_RETURN_IF_ERROR(out->Append(buffer.data(), got));
-    if (got < buffer.size()) return Status::OK();
-  }
-}
-
-}  // namespace
 
 ShardedSorter::ShardedSorter(Env* env, ShardedSortOptions options)
     : env_(env), options_(std::move(options)) {}
@@ -250,6 +205,36 @@ Status ShardedSorter::SortStaged(CountingEnv* env,
   if (remove_staged) TWRS_RETURN_IF_ERROR(env->RemoveFile(staged_path));
   local.split_seconds = prior_seconds + phase_watch.ElapsedSeconds();
 
+  // Shard byte ranges of the output, known before any sort starts: shards
+  // hold disjoint, increasing key ranges and the partition pass counted
+  // their records exactly, so shard i's sorted bytes begin at the prefix
+  // sum of the earlier shards. Each shard's final merge writes that range
+  // directly (SortIntoRange) — no concatenation pass re-reads and
+  // re-writes the output.
+  std::vector<uint64_t> shard_offsets(num_shards, 0);
+  for (size_t i = 1; i < num_shards; ++i) {
+    shard_offsets[i] =
+        shard_offsets[i - 1] + local.shard_records[i - 1] * kRecordBytes;
+  }
+  // Truncate-create the shared output exactly once, before any range
+  // writer opens it; the ranges then extend it to its final size.
+  {
+    std::unique_ptr<RandomRWFile> out;
+    TWRS_RETURN_IF_ERROR(env->NewRandomRWFile(output_path, &out));
+    TWRS_RETURN_IF_ERROR(out->Close());
+  }
+
+  // A sort-level on_merge_begin would fire once per shard, while the
+  // caller (e.g. SortService's lease downsize) wants one job-level signal
+  // when run generation is over everywhere. Aggregate: count shards down
+  // and fire the original callback once, with the shards' combined merge
+  // footprint.
+  const std::function<void(size_t)> job_on_merge_begin =
+      options_.sort.on_merge_begin;
+  auto merge_begin_remaining = std::make_shared<std::atomic<size_t>>(
+      num_shards);
+  auto merge_records_total = std::make_shared<std::atomic<uint64_t>>(0);
+
   // Concurrent per-shard sorts: each shard runs the complete external-sort
   // phase pipeline on the executor. Nested waits (a shard's own parallel
   // leaf merges on the same pool) are safe because TaskHandle::Wait is
@@ -258,26 +243,41 @@ Status ShardedSorter::SortStaged(CountingEnv* env,
       options_.executor != nullptr ? options_.executor : &Executor::Shared();
   ThreadPool* pool = executor->pool();
   local.shard_results.assign(num_shards, ExternalSortResult());
-  std::vector<std::string> sorted_paths(num_shards);
   phase_watch.Reset();
   {
     std::vector<TaskHandle> handles(num_shards);
     for (size_t i = 0; i < num_shards; ++i) {
-      sorted_paths[i] = shard_dir + "/sorted_" + std::to_string(i);
       ExternalSortOptions shard_options = options_.sort;
       shard_options.temp_dir = shard_dir;
       if (shard_options.parallel.executor == nullptr) {
         shard_options.parallel.executor = executor;
       }
+      if (job_on_merge_begin) {
+        shard_options.on_merge_begin =
+            [&job_on_merge_begin, merge_begin_remaining,
+             merge_records_total](size_t merge_records) {
+              merge_records_total->fetch_add(merge_records,
+                                             std::memory_order_relaxed);
+              if (merge_begin_remaining->fetch_sub(
+                      1, std::memory_order_acq_rel) == 1) {
+                job_on_merge_begin(static_cast<size_t>(
+                    merge_records_total->load(std::memory_order_relaxed)));
+              }
+            };
+      }
+      MergeOutputRange range;
+      range.positioned = true;
+      range.offset = shard_offsets[i];
+      range.length = local.shard_records[i] * kRecordBytes;
       ExternalSortResult* shard_result = &local.shard_results[i];
       const std::string shard_path = shard_paths[i];
-      const std::string sorted_path = sorted_paths[i];
       handles[i] = pool->Submit(
-          [env, shard_options, shard_path, sorted_path, shard_result] {
+          [env, shard_options, shard_path, output_path, range, shard_result] {
             ExternalSorter sorter(env, shard_options);
             FileRecordSource shard_source(env, shard_path,
                                           shard_options.block_bytes);
-            Status s = sorter.Sort(&shard_source, sorted_path, shard_result);
+            Status s = sorter.SortIntoRange(&shard_source, output_path, range,
+                                            shard_result);
             if (s.ok()) s = shard_source.status();
             return s;
           });
@@ -293,23 +293,8 @@ Status ShardedSorter::SortStaged(CountingEnv* env,
   }
   local.sort_seconds = phase_watch.ElapsedSeconds();
 
-  // Concatenation: shards hold disjoint, increasing ranges, so appending
-  // the sorted shard files in shard order is the final sorted output.
-  phase_watch.Reset();
-  {
-    std::unique_ptr<WritableFile> out;
-    TWRS_RETURN_IF_ERROR(env->NewWritableFile(output_path, &out));
-    for (size_t i = 0; i < num_shards; ++i) {
-      TWRS_RETURN_IF_ERROR(AppendFileTo(env, sorted_paths[i], out.get(),
-                                        options_.split_block_bytes, cancel));
-    }
-    TWRS_RETURN_IF_ERROR(out->Close());
-  }
-  local.concat_seconds = phase_watch.ElapsedSeconds();
-
   for (size_t i = 0; i < num_shards; ++i) {
     TWRS_RETURN_IF_ERROR(env->RemoveFile(shard_paths[i]));
-    TWRS_RETURN_IF_ERROR(env->RemoveFile(sorted_paths[i]));
   }
   TWRS_RETURN_IF_ERROR(env->RemoveDir(shard_dir));
 
@@ -335,12 +320,11 @@ void ShardedSorter::CleanupScratch(const std::string& staged_path,
   // Statuses are deliberately ignored: this runs after a failure, on files
   // that may never have existed.
   if (remove_staged) env_->RemoveFile(staged_path);
-  // Shard/sorted paths are deterministic, so remove them by name first:
-  // this works on any Env, including ones that keep the default
-  // NotSupported ListDir (where the tree removal below is a no-op).
+  // Shard paths are deterministic, so remove them by name first: this
+  // works on any Env, including ones that keep the default NotSupported
+  // ListDir (where the tree removal below is a no-op).
   for (size_t i = 0; i < options_.shards; ++i) {
     env_->RemoveFile(shard_dir + "/shard_" + std::to_string(i));
-    env_->RemoveFile(shard_dir + "/sorted_" + std::to_string(i));
   }
   // The recursive removal catches what deterministic names cannot: the
   // nested sort_* scratch directory of a per-shard sort that failed

@@ -10,43 +10,12 @@
 #include "io/counting_env.h"
 #include "io/env.h"
 #include "merge/external_sorter.h"
-#include "util/random.h"
+#include "shard/splitters.h"
 #include "util/status.h"
 
 namespace twrs {
 
 class Executor;
-
-/// Uniform reservoir sampler (Algorithm R) over a key stream: after any
-/// number of Add calls, sample() holds min(capacity, seen) keys, each seen
-/// key equally likely to be present. Deterministic for a fixed seed.
-class ReservoirSampler {
- public:
-  ReservoirSampler(size_t capacity, uint64_t seed)
-      : capacity_(capacity), rng_(seed) {}
-
-  void Add(Key key);
-
-  /// Keys offered so far.
-  uint64_t seen() const { return seen_; }
-
-  /// The current reservoir (unsorted).
-  const std::vector<Key>& sample() const { return sample_; }
-
- private:
-  size_t capacity_;
-  Random rng_;
-  uint64_t seen_ = 0;
-  std::vector<Key> sample_;
-};
-
-/// Picks at most `shards` - 1 ascending, distinct range splitters at the
-/// quantiles of `sample` — the distribution-sort partitioning idea (§2.2)
-/// with sampled instead of assumed-known key ranges. Shard i then covers
-/// [splitter[i-1], splitter[i]) with the outer shards open-ended, so
-/// duplicates of any key always land in one shard. Heavily skewed samples
-/// collapse duplicate splitters, yielding fewer effective shards.
-std::vector<Key> PickSplitters(std::vector<Key> sample, size_t shards);
 
 /// Configuration of a sharded external sort.
 struct ShardedSortOptions {
@@ -62,9 +31,9 @@ struct ShardedSortOptions {
   uint64_t sample_seed = 1;
 
   /// I/O buffer of the purely sequential passes the sharded path adds
-  /// (sampling/staging, partition, concatenation). Much larger than the
-  /// per-stream sort buffers: these passes stream one file end to end, so
-  /// big blocks amortize positioning cost on seek-bound disks.
+  /// (sampling/staging, partition). Much larger than the per-stream sort
+  /// buffers: these passes stream one file end to end, so big blocks
+  /// amortize positioning cost on seek-bound disks.
   size_t split_block_bytes = 1 << 20;
 
   /// Per-shard external sort configuration. Its temp_dir doubles as the
@@ -84,7 +53,9 @@ struct ShardedSortResult {
   uint64_t output_records = 0;
 
   /// Engine I/O volume across every pass (staging, partition, the shards'
-  /// complete sorts, concatenation), mirroring ExternalSortResult.
+  /// complete sorts — whose final merges write the output directly),
+  /// mirroring ExternalSortResult. The removed concatenation pass used to
+  /// add one full read + write of the output on top of this.
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
 
@@ -97,17 +68,23 @@ struct ShardedSortResult {
   /// Per-shard sort breakdowns, in shard order.
   std::vector<ExternalSortResult> shard_results;
 
-  double split_seconds = 0.0;   ///< sampling + partition passes
-  double sort_seconds = 0.0;    ///< concurrent per-shard sorts (wall clock)
-  double concat_seconds = 0.0;  ///< sorted-shard concatenation
+  double split_seconds = 0.0;  ///< sampling + partition passes
+  /// Concurrent per-shard sorts (wall clock), including each shard's final
+  /// merge writing its byte range of the output directly — there is no
+  /// separate concatenation pass to time anymore.
+  double sort_seconds = 0.0;
   double total_seconds = 0.0;
 };
 
 /// Sorts via range sharding: samples the input to pick splitters, writes
-/// range-disjoint shard files, runs a complete external sort per shard
-/// concurrently on the executor, and concatenates the sorted shards. The
-/// output file is byte-identical to what the serial ExternalSorter produces
-/// for the same input.
+/// range-disjoint shard files, and runs a complete external sort per shard
+/// concurrently on the executor. Shard byte offsets in the output are known
+/// before any sort starts (ranges are disjoint and shard record counts are
+/// exact from the partition pass), so each shard's final merge writes its
+/// [offset, offset+len) of the real output through a RangeMergeSink — the
+/// old concatenation pass, one full read + write of the output, is gone.
+/// The output file is byte-identical to what the serial ExternalSorter
+/// produces for the same input.
 class ShardedSorter {
  public:
   /// Does not take ownership of `env`.
@@ -131,8 +108,9 @@ class ShardedSorter {
   Status Validate() const;
 
   /// Shared tail of both entry points: partitions `staged_path` by the
-  /// splitters picked from `sample`, sorts every shard concurrently and
-  /// concatenates into `output_path`. Removes `staged_path` when owned.
+  /// splitters picked from `sample`, then sorts every shard concurrently,
+  /// each writing its precomputed byte range of `output_path` directly.
+  /// Removes `staged_path` when owned.
   /// `prior_seconds` is the caller's sampling/staging time, folded into the
   /// split and total timings. `env` is the operation's counting decorator;
   /// all passes (including the per-shard sorts) run through it.

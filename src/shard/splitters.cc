@@ -1,0 +1,31 @@
+#include "shard/splitters.h"
+
+#include <algorithm>
+
+namespace twrs {
+
+void ReservoirSampler::Add(Key key) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(key);
+    return;
+  }
+  const uint64_t slot = rng_.Uniform(seen_);
+  if (slot < capacity_) sample_[slot] = key;
+}
+
+std::vector<Key> PickSplitters(std::vector<Key> sample, size_t shards) {
+  std::vector<Key> splitters;
+  if (shards <= 1 || sample.empty()) return splitters;
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 1; i < shards; ++i) {
+    const size_t idx =
+        std::min(i * sample.size() / shards, sample.size() - 1);
+    splitters.push_back(sample[idx]);
+  }
+  splitters.erase(std::unique(splitters.begin(), splitters.end()),
+                  splitters.end());
+  return splitters;
+}
+
+}  // namespace twrs

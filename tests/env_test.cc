@@ -4,9 +4,12 @@
 
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "io/mem_env.h"
 #include "io/posix_env.h"
+#include "io/sim_disk_env.h"
 #include "tests/test_util.h"
 
 namespace twrs {
@@ -14,25 +17,31 @@ namespace {
 
 using testing::MakeTempDir;
 
-enum class EnvKind { kMem, kPosix };
+enum class EnvKind { kMem, kPosix, kSimDisk };
 
-// The Env contract must hold identically for the in-memory test filesystem
-// and the production POSIX one.
+// The Env contract must hold identically for the in-memory test
+// filesystem, the production POSIX one, and the simulated-disk decorator
+// the benchmarks run on.
 class EnvTest : public ::testing::TestWithParam<EnvKind> {
  protected:
   void SetUp() override {
     if (GetParam() == EnvKind::kMem) {
       env_ = std::make_unique<MemEnv>();
       dir_ = "mem";
-    } else {
+    } else if (GetParam() == EnvKind::kPosix) {
       env_ = std::make_unique<PosixEnv>();
       dir_ = MakeTempDir();
+    } else {
+      base_ = std::make_unique<MemEnv>();
+      env_ = std::make_unique<SimDiskEnv>(base_.get());
+      dir_ = "sim";
     }
     ASSERT_TWRS_OK(env_->CreateDirIfMissing(dir_));
   }
 
   std::string Path(const std::string& name) { return dir_ + "/" + name; }
 
+  std::unique_ptr<MemEnv> base_;  // backs the SimDiskEnv decorator
   std::unique_ptr<Env> env_;
   std::string dir_;
 };
@@ -158,12 +167,125 @@ TEST_P(EnvTest, ReopenMissingFileFails) {
   EXPECT_FALSE(env_->ReopenRandomRWFile(Path("missing"), &f).ok());
 }
 
-INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvTest,
-                         ::testing::Values(EnvKind::kMem, EnvKind::kPosix),
-                         [](const ::testing::TestParamInfo<EnvKind>& info) {
-                           return info.param == EnvKind::kMem ? "Mem"
-                                                              : "Posix";
-                         });
+// --- RandomRWFile contracts the RangeMergeSink positioned-output path
+// --- relies on; pinned down across every backend.
+
+TEST_P(EnvTest, RandomRWWriteAtExtendsAndZeroFillsTheGap) {
+  // A range writer may land past the current end of the shared output; the
+  // file must extend to cover it, and the not-yet-written gap must read as
+  // zeros (POSIX holes do; MemEnv's resize must match).
+  std::unique_ptr<RandomRWFile> f;
+  ASSERT_TWRS_OK(env_->NewRandomRWFile(Path("f"), &f));
+  ASSERT_TWRS_OK(f->WriteAt(16, "TAIL", 4));
+  ASSERT_TWRS_OK(f->Close());
+  uint64_t size = 0;
+  ASSERT_TWRS_OK(env_->GetFileSize(Path("f"), &size));
+  EXPECT_EQ(size, 20u);
+  std::unique_ptr<RandomRWFile> r;
+  ASSERT_TWRS_OK(env_->ReopenRandomRWFile(Path("f"), &r));
+  char buf[20];
+  ASSERT_TWRS_OK(r->ReadAt(0, buf, sizeof(buf)));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(buf[i], '\0') << "gap byte " << i;
+  }
+  EXPECT_EQ(std::string(buf + 16, 4), "TAIL");
+}
+
+TEST_P(EnvTest, RandomRWReopenWithoutTruncateKeepsSizeAndExtendsAtTail) {
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env_->NewRandomRWFile(Path("f"), &f));
+    ASSERT_TWRS_OK(f->WriteAt(0, "01234567", 8));
+    ASSERT_TWRS_OK(f->Close());
+  }
+  uint64_t size = 0;
+  {
+    // Reopen must not shrink the file even if this handle never writes.
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env_->ReopenRandomRWFile(Path("f"), &f));
+    ASSERT_TWRS_OK(f->Close());
+    ASSERT_TWRS_OK(env_->GetFileSize(Path("f"), &size));
+    EXPECT_EQ(size, 8u);
+  }
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env_->ReopenRandomRWFile(Path("f"), &f));
+    ASSERT_TWRS_OK(f->WriteAt(8, "89", 2));  // extend at the tail
+    ASSERT_TWRS_OK(f->Close());
+  }
+  ASSERT_TWRS_OK(env_->GetFileSize(Path("f"), &size));
+  EXPECT_EQ(size, 10u);
+  std::unique_ptr<SequentialFile> r;
+  ASSERT_TWRS_OK(env_->NewSequentialFile(Path("f"), &r));
+  char buf[10];
+  size_t got = 0;
+  ASSERT_TWRS_OK(r->Read(buf, sizeof(buf), &got));
+  EXPECT_EQ(std::string(buf, got), "0123456789");
+}
+
+TEST_P(EnvTest, RandomRWConcurrentWritersToDisjointRanges) {
+  // The concatenation-free sharded sort: one handle per writer, each
+  // filling its own byte range of a shared file, interleaved in time. The
+  // result must be exactly the writers' ranges side by side.
+  constexpr int kWriters = 4;
+  constexpr int kChunksPerWriter = 64;
+  constexpr size_t kChunkBytes = 512;
+  constexpr size_t kStride = kChunksPerWriter * kChunkBytes;
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env_->NewRandomRWFile(Path("f"), &f));
+    ASSERT_TWRS_OK(f->Close());
+  }
+  std::vector<std::thread> threads;
+  std::vector<Status> results(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      std::unique_ptr<RandomRWFile> f;
+      Status s = env_->ReopenRandomRWFile(Path("f"), &f);
+      std::vector<char> chunk(kChunkBytes, static_cast<char>('A' + w));
+      for (int c = 0; s.ok() && c < kChunksPerWriter; ++c) {
+        s = f->WriteAt(w * kStride + c * kChunkBytes, chunk.data(),
+                       chunk.size());
+        std::this_thread::yield();  // encourage interleaving
+      }
+      if (s.ok()) s = f->Close();
+      results[w] = s;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int w = 0; w < kWriters; ++w) ASSERT_TWRS_OK(results[w]);
+
+  uint64_t size = 0;
+  ASSERT_TWRS_OK(env_->GetFileSize(Path("f"), &size));
+  ASSERT_EQ(size, kWriters * kStride);
+  std::unique_ptr<SequentialFile> r;
+  ASSERT_TWRS_OK(env_->NewSequentialFile(Path("f"), &r));
+  std::vector<char> got(kWriters * kStride);
+  size_t read = 0;
+  ASSERT_TWRS_OK(r->Read(got.data(), got.size(), &read));
+  ASSERT_EQ(read, got.size());
+  for (int w = 0; w < kWriters; ++w) {
+    for (size_t i = 0; i < kStride; ++i) {
+      ASSERT_EQ(got[w * kStride + i], static_cast<char>('A' + w))
+          << "writer " << w << " byte " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnvs, EnvTest,
+    ::testing::Values(EnvKind::kMem, EnvKind::kPosix, EnvKind::kSimDisk),
+    [](const ::testing::TestParamInfo<EnvKind>& info) {
+      switch (info.param) {
+        case EnvKind::kMem:
+          return "Mem";
+        case EnvKind::kPosix:
+          return "Posix";
+        case EnvKind::kSimDisk:
+          return "SimDisk";
+      }
+      return "Unknown";
+    });
 
 TEST(MemEnvTest, FileContentsHelper) {
   MemEnv env;

@@ -107,6 +107,54 @@ TEST(MemoryGovernorTest, BlocksBelowTheFloorThenGrants) {
   EXPECT_EQ(lease.records(), 800u);
 }
 
+TEST(MemoryGovernorTest, DownsizeReturnsBudgetAndUnblocksAWaiter) {
+  MemoryGovernor governor(Options(1000, 100));
+  MemoryLease hog;
+  ASSERT_TRUE(governor.Reserve(1000, &hog).ok());
+  MemoryLease lease;
+  std::thread waiter([&] {
+    ASSERT_TRUE(governor.Reserve(600, &lease).ok());
+  });
+  AwaitWaiters(governor, 1);
+  EXPECT_FALSE(lease.valid());
+  // Mid-flight renegotiation: the hog keeps 200 records (its merge
+  // footprint) and the waiter admits immediately on the freed 800.
+  hog.Downsize(200);
+  EXPECT_EQ(hog.records(), 200u);
+  waiter.join();
+  EXPECT_EQ(lease.records(), 600u);
+  const MemoryGovernorStats stats = governor.Stats();
+  EXPECT_EQ(stats.reserved_records, 800u);
+  EXPECT_EQ(stats.downsized_leases, 1u);
+}
+
+TEST(MemoryGovernorTest, DownsizeToLargerOrEqualIsANoOp) {
+  MemoryGovernor governor(Options(1000, 10));
+  MemoryLease lease;
+  ASSERT_TRUE(governor.Reserve(300, &lease).ok());
+  lease.Downsize(300);
+  lease.Downsize(500);
+  EXPECT_EQ(lease.records(), 300u);
+  EXPECT_EQ(governor.Stats().reserved_records, 300u);
+  EXPECT_EQ(governor.Stats().downsized_leases, 0u);
+
+  // An empty lease has nothing to return.
+  MemoryLease empty;
+  empty.Downsize(0);
+  EXPECT_FALSE(empty.valid());
+}
+
+TEST(MemoryGovernorTest, DownsizedLeaseReleasesOnlyTheRemainder) {
+  MemoryGovernor governor(Options(1000, 10));
+  {
+    MemoryLease lease;
+    ASSERT_TRUE(governor.Reserve(900, &lease).ok());
+    lease.Downsize(100);
+    EXPECT_EQ(governor.Stats().reserved_records, 100u);
+  }  // RAII release of the remaining 100
+  EXPECT_EQ(governor.Stats().reserved_records, 0u);
+}
+
 TEST(MemoryGovernorTest, TryReserveShrinksButRespectsFloor) {
   MemoryGovernor governor(Options(1000, 100));
   MemoryLease hog;

@@ -1,0 +1,280 @@
+#include "io/merge_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "io/mem_env.h"
+#include "io/posix_env.h"
+#include "io/record_io.h"
+#include "tests/test_util.h"
+
+namespace twrs {
+namespace {
+
+using testing::MakeTempDir;
+
+std::string Contents(MemEnv* env, const std::string& path) {
+  const std::vector<uint8_t>* data = env->FileContents(path);
+  EXPECT_NE(data, nullptr);
+  if (data == nullptr) return "";
+  return std::string(data->begin(), data->end());
+}
+
+TEST(AppendMergeSinkTest, WritesSequentially) {
+  MemEnv env;
+  std::unique_ptr<MergeSink> sink;
+  ASSERT_TWRS_OK(MakeAppendMergeSink(&env, "out", nullptr, 0, &sink));
+  ASSERT_TWRS_OK(sink->Write("hello ", 6));
+  ASSERT_TWRS_OK(sink->Write("world", 5));
+  EXPECT_EQ(sink->bytes_written(), 11u);
+  ASSERT_TWRS_OK(sink->Finish());
+  ASSERT_TWRS_OK(sink->Finish());  // idempotent
+  EXPECT_EQ(Contents(&env, "out"), "hello world");
+}
+
+TEST(AppendMergeSinkTest, WriteAfterFinishFails) {
+  MemEnv env;
+  std::unique_ptr<MergeSink> sink;
+  ASSERT_TWRS_OK(MakeAppendMergeSink(&env, "out", nullptr, 0, &sink));
+  ASSERT_TWRS_OK(sink->Finish());
+  EXPECT_FALSE(sink->Write("x", 1).ok());
+}
+
+TEST(AppendMergeSinkTest, AsyncPathMatchesSync) {
+  MemEnv env;
+  ThreadPool pool(2);
+  std::unique_ptr<MergeSink> sink;
+  // A tiny async buffer forces many rotations.
+  ASSERT_TWRS_OK(MakeAppendMergeSink(&env, "out", &pool, 64, &sink));
+  std::string expect;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string chunk = "chunk" + std::to_string(i) + ";";
+    ASSERT_TWRS_OK(sink->Write(chunk.data(), chunk.size()));
+    expect += chunk;
+  }
+  ASSERT_TWRS_OK(sink->Finish());
+  EXPECT_EQ(Contents(&env, "out"), expect);
+}
+
+TEST(RangeMergeSinkTest, FillsExactlyItsRange) {
+  MemEnv env;
+  // Pre-size the file with sentinel bytes around the range.
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env.NewRandomRWFile("out", &f));
+    ASSERT_TWRS_OK(f->WriteAt(0, "AAAABBBBCCCC", 12));
+    ASSERT_TWRS_OK(f->Close());
+  }
+  std::unique_ptr<MergeSink> sink;
+  ASSERT_TWRS_OK(MakeRangeMergeSink(&env, "out", 4, 4, nullptr, 0, &sink));
+  ASSERT_TWRS_OK(sink->Write("xy", 2));
+  ASSERT_TWRS_OK(sink->Write("zw", 2));
+  ASSERT_TWRS_OK(sink->Finish());
+  EXPECT_EQ(Contents(&env, "out"), "AAAAxyzwCCCC");
+}
+
+TEST(RangeMergeSinkTest, ExtendsTheFileOnWrite) {
+  MemEnv env;
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env.NewRandomRWFile("out", &f));
+    ASSERT_TWRS_OK(f->Close());
+  }
+  std::unique_ptr<MergeSink> sink;
+  ASSERT_TWRS_OK(MakeRangeMergeSink(&env, "out", 8, 4, nullptr, 0, &sink));
+  ASSERT_TWRS_OK(sink->Write("TAIL", 4));
+  ASSERT_TWRS_OK(sink->Finish());
+  uint64_t size = 0;
+  ASSERT_TWRS_OK(env.GetFileSize("out", &size));
+  EXPECT_EQ(size, 12u);
+  EXPECT_EQ(Contents(&env, "out").substr(8), "TAIL");
+}
+
+TEST(RangeMergeSinkTest, WriteBeyondRangeFails) {
+  MemEnv env;
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env.NewRandomRWFile("out", &f));
+    ASSERT_TWRS_OK(f->Close());
+  }
+  std::unique_ptr<MergeSink> sink;
+  ASSERT_TWRS_OK(MakeRangeMergeSink(&env, "out", 0, 4, nullptr, 0, &sink));
+  ASSERT_TWRS_OK(sink->Write("1234", 4));
+  Status s = sink->Write("5", 1);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(RangeMergeSinkTest, UnderfilledRangeIsCorruptionAtFinish) {
+  MemEnv env;
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env.NewRandomRWFile("out", &f));
+    ASSERT_TWRS_OK(f->Close());
+  }
+  std::unique_ptr<MergeSink> sink;
+  ASSERT_TWRS_OK(MakeRangeMergeSink(&env, "out", 0, 8, nullptr, 0, &sink));
+  ASSERT_TWRS_OK(sink->Write("1234", 4));
+  Status s = sink->Finish();
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(RangeMergeSinkTest, ZeroLengthRangeFinishesClean) {
+  MemEnv env;
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env.NewRandomRWFile("out", &f));
+    ASSERT_TWRS_OK(f->Close());
+  }
+  std::unique_ptr<MergeSink> sink;
+  ASSERT_TWRS_OK(MakeRangeMergeSink(&env, "out", 0, 0, nullptr, 0, &sink));
+  ASSERT_TWRS_OK(sink->Finish());
+}
+
+TEST(RangeMergeSinkTest, MissingFileFailsToOpen) {
+  MemEnv env;
+  std::unique_ptr<MergeSink> sink;
+  EXPECT_FALSE(
+      MakeRangeMergeSink(&env, "missing", 0, 4, nullptr, 0, &sink).ok());
+}
+
+TEST(RangeMergeSinkTest, AbandonedSinkSkipsTheExactFillCheck) {
+  MemEnv env;
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env.NewRandomRWFile("out", &f));
+    ASSERT_TWRS_OK(f->Close());
+  }
+  ThreadPool pool(1);
+  {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env.ReopenRandomRWFile("out", &f));
+    RangeMergeSink sink(std::move(f), 0, 1024, &pool, 64);
+    ASSERT_TWRS_OK(sink.Write("partial", 7));
+    // Destroyed mid-range: error-path unwinding, no Corruption thrown.
+  }
+}
+
+TEST(RangeMergeSinkTest, DoubleBufferedFlushMatchesSyncBytes) {
+  MemEnv env;
+  ThreadPool pool(2);
+  const std::string expect_path = "sync";
+  const std::string async_path = "async";
+  std::string payload;
+  for (int i = 0; i < 2000; ++i) payload += std::to_string(i * 7919) + "|";
+  for (const std::string& path : {expect_path, async_path}) {
+    std::unique_ptr<RandomRWFile> f;
+    ASSERT_TWRS_OK(env.NewRandomRWFile(path, &f));
+    ASSERT_TWRS_OK(f->Close());
+  }
+  {
+    std::unique_ptr<MergeSink> sink;
+    ASSERT_TWRS_OK(MakeRangeMergeSink(&env, expect_path, 0, payload.size(),
+                                      nullptr, 0, &sink));
+    ASSERT_TWRS_OK(sink->Write(payload.data(), payload.size()));
+    ASSERT_TWRS_OK(sink->Finish());
+  }
+  {
+    std::unique_ptr<MergeSink> sink;
+    // 96-byte halves force hundreds of rotations over the payload.
+    ASSERT_TWRS_OK(MakeRangeMergeSink(&env, async_path, 0, payload.size(),
+                                      &pool, 96, &sink));
+    size_t pos = 0;
+    while (pos < payload.size()) {
+      const size_t chunk = std::min<size_t>(37, payload.size() - pos);
+      ASSERT_TWRS_OK(sink->Write(payload.data() + pos, chunk));
+      pos += chunk;
+    }
+    ASSERT_TWRS_OK(sink->Finish());
+  }
+  EXPECT_EQ(Contents(&env, async_path), Contents(&env, expect_path));
+  EXPECT_EQ(Contents(&env, async_path), payload);
+}
+
+// The contract the concatenation-free sharded sort rests on: several sinks
+// over distinct handles of one file, concurrently filling disjoint ranges,
+// produce exactly the concatenation of their payloads.
+TEST(RangeMergeSinkTest, ConcurrentDisjointRangesCompose) {
+  for (int use_posix = 0; use_posix <= 1; ++use_posix) {
+    MemEnv mem;
+    PosixEnv posix;
+    Env* env = use_posix ? static_cast<Env*>(&posix) : &mem;
+    const std::string path =
+        use_posix ? MakeTempDir() + "/out" : std::string("out");
+
+    constexpr int kWriters = 8;
+    constexpr size_t kBytesPerWriter = 64 * 1024 + 13;
+    {
+      std::unique_ptr<RandomRWFile> f;
+      ASSERT_TWRS_OK(env->NewRandomRWFile(path, &f));
+      ASSERT_TWRS_OK(f->Close());
+    }
+    ThreadPool flush_pool(4);
+    std::vector<std::thread> writers;
+    std::vector<Status> results(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        std::unique_ptr<MergeSink> sink;
+        Status s = MakeRangeMergeSink(env, path, w * kBytesPerWriter,
+                                      kBytesPerWriter, &flush_pool, 1024,
+                                      &sink);
+        if (!s.ok()) {
+          results[w] = s;
+          return;
+        }
+        const char byte = static_cast<char>('a' + w);
+        std::vector<char> chunk(997, byte);
+        size_t written = 0;
+        while (s.ok() && written < kBytesPerWriter) {
+          const size_t n =
+              std::min(chunk.size(), kBytesPerWriter - written);
+          s = sink->Write(chunk.data(), n);
+          written += n;
+        }
+        if (s.ok()) s = sink->Finish();
+        results[w] = s;
+      });
+    }
+    for (auto& t : writers) t.join();
+    for (int w = 0; w < kWriters; ++w) {
+      ASSERT_TWRS_OK(results[w]);
+    }
+    std::unique_ptr<SequentialFile> in;
+    ASSERT_TWRS_OK(env->NewSequentialFile(path, &in));
+    std::vector<char> got(kWriters * kBytesPerWriter);
+    size_t read = 0;
+    ASSERT_TWRS_OK(in->Read(got.data(), got.size(), &read));
+    ASSERT_EQ(read, got.size());
+    for (int w = 0; w < kWriters; ++w) {
+      for (size_t i = 0; i < kBytesPerWriter; ++i) {
+        ASSERT_EQ(got[w * kBytesPerWriter + i],
+                  static_cast<char>('a' + w))
+            << "writer " << w << " byte " << i;
+      }
+    }
+  }
+}
+
+TEST(MergeSinkFileTest, RecordWriterThroughSink) {
+  MemEnv env;
+  std::unique_ptr<MergeSink> sink;
+  ASSERT_TWRS_OK(MakeAppendMergeSink(&env, "out", nullptr, 0, &sink));
+  {
+    RecordWriter writer(std::make_unique<MergeSinkFile>(sink.get()), 64);
+    ASSERT_TWRS_OK(writer.status());
+    for (Key k = 0; k < 100; ++k) ASSERT_TWRS_OK(writer.Append(k));
+    ASSERT_TWRS_OK(writer.Finish());
+  }
+  std::vector<Key> keys;
+  ASSERT_TWRS_OK(ReadAllRecords(&env, "out", &keys));
+  ASSERT_EQ(keys.size(), 100u);
+  for (Key k = 0; k < 100; ++k) EXPECT_EQ(keys[k], k);
+  EXPECT_EQ(sink->bytes_written(), 100 * kRecordBytes);
+}
+
+}  // namespace
+}  // namespace twrs

@@ -349,5 +349,79 @@ TEST(ShardedSorterTest, ReportsIoVolumeAcrossAllPasses) {
   EXPECT_LE(shard_written, result.bytes_written);
 }
 
+TEST(ShardedSorterTest, DirectRangeWritesDoNotDoubleCountTheOutput) {
+  // With Load-Sort-Store runs (forward record files only — no reverse-file
+  // page padding), every byte the sharded sort writes is accountable:
+  // partition files + run files + the output, each exactly once. The old
+  // concatenation pass added a fourth full write (per-shard sorted files)
+  // plus one more read of the whole output; its removal must show up in
+  // the counters, not just the wall clock.
+  MemEnv env;
+  WorkloadOptions wl;
+  wl.num_records = 6000;
+  wl.seed = 23;
+  const auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+  ASSERT_TWRS_OK(WriteAllRecords(&env, "in", input));
+
+  ShardedSortOptions options = BaseOptions(3);
+  options.sort.algorithm = RunGenAlgorithm::kLoadSortStore;
+  options.sort.memory_records = 1024;  // few runs, single merge pass
+  ShardedSorter sorter(&env, options);
+  ShardedSortResult result;
+  ASSERT_TWRS_OK(sorter.SortFile("in", "out", &result));
+
+  const uint64_t input_bytes = input.size() * kRecordBytes;
+  // Writes: partition + runs + output = exactly 3x (was 4x with concat).
+  EXPECT_EQ(result.bytes_written, 3 * input_bytes);
+  // Reads: sampling + partition + run generation + final merge = 4x (the
+  // concat pass used to re-read the whole output for a 5th).
+  EXPECT_EQ(result.bytes_read, 4 * input_bytes);
+
+  uint64_t count = 0;
+  KeyChecksum checksum;
+  ASSERT_TWRS_OK(VerifySortedFile(&env, "out", &count, &checksum));
+  EXPECT_EQ(count, input.size());
+  EXPECT_TRUE(checksum == ChecksumOf(input));
+}
+
+TEST(ShardedSorterTest, PartitionedFinalMergesInsideShardsStayByteIdentical) {
+  // Compose the two new paths: shards write their output ranges directly
+  // AND each shard's final merge is itself partitioned. The bytes must
+  // still match the plain serial sorter.
+  WorkloadOptions wl;
+  wl.num_records = 40000;
+  wl.seed = 29;
+  const auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+
+  MemEnv env;
+  std::vector<uint8_t> expect;
+  {
+    ExternalSortOptions serial;
+    serial.memory_records = 2048;
+    serial.twrs = TwoWayOptions::Recommended(2048, 3);
+    serial.fan_in = 4;
+    serial.temp_dir = "tmp";
+    serial.block_bytes = 512;
+    ExternalSorter sorter(&env, serial);
+    VectorSource source(input);
+    ASSERT_TWRS_OK(sorter.Sort(&source, "out_serial", nullptr));
+    ASSERT_NE(env.FileContents("out_serial"), nullptr);
+    expect = *env.FileContents("out_serial");
+  }
+
+  ShardedSortOptions options = BaseOptions(3);
+  options.sort.memory_records = 2048;
+  options.sort.twrs = TwoWayOptions::Recommended(2048, 3);
+  options.sort.parallel.worker_threads = 4;
+  options.sort.parallel.final_merge_threads = 4;
+  ShardedSorter sorter(&env, options);
+  VectorSource source(input);
+  ShardedSortResult result;
+  ASSERT_TWRS_OK(sorter.Sort(&source, "out_sharded", &result));
+  ASSERT_NE(env.FileContents("out_sharded"), nullptr);
+  EXPECT_EQ(*env.FileContents("out_sharded"), expect);
+  EXPECT_EQ(result.output_records, input.size());
+}
+
 }  // namespace
 }  // namespace twrs

@@ -76,6 +76,54 @@ TEST(ShardPlannerTest, ClipsToMaxShards) {
   EXPECT_EQ(plan.limit, ShardPlanLimit::kMaxShards);
 }
 
+TEST(ShardPlannerTest, FinalMergeThreadsSpreadFreeWorkersOverShards) {
+  ShardPlanInputs inputs;
+  inputs.input_records = 32000;  // 8x-memory shards of 8000 records -> 4
+  inputs.memory_records = 1000;
+  inputs.executor_capacity = 16;
+  inputs.max_shards = 16;
+  const ShardPlan plan = PlanShardCount(inputs);
+  EXPECT_EQ(plan.shards, 4u);
+  // 16 free workers over 4 shards = 4 partitions each, and each shard's
+  // merge expects 8000 / (2 * 1000) = 4 runs — not the serial 1 the
+  // planner used to assume for the last pass.
+  EXPECT_EQ(plan.final_merge_threads, 4u);
+}
+
+TEST(ShardPlannerTest, FinalMergeStaysSerialWhenWorkersAreScarce) {
+  ShardPlanInputs inputs;
+  inputs.input_records = 1000000;
+  inputs.memory_records = 1000;
+  inputs.executor_capacity = 8;
+  inputs.executor_inflight = 6;  // 2 free workers, both taken by shards
+  inputs.max_shards = 64;
+  const ShardPlan plan = PlanShardCount(inputs);
+  EXPECT_EQ(plan.shards, 2u);
+  EXPECT_EQ(plan.final_merge_threads, 1u);
+}
+
+TEST(ShardPlannerTest, FinalMergeCappedByExpectedRunCount) {
+  ShardPlanInputs inputs;
+  inputs.input_records = 12000;  // 2 shards of 6000 records
+  inputs.memory_records = 1000;
+  inputs.executor_capacity = 64;  // workers to spare
+  inputs.max_shards = 16;
+  const ShardPlan plan = PlanShardCount(inputs);
+  EXPECT_EQ(plan.shards, 2u);
+  // 32 free workers per shard, but only ~3 runs of ~2x memory to merge.
+  EXPECT_EQ(plan.final_merge_threads, 3u);
+}
+
+TEST(ShardPlannerTest, InMemoryInputKeepsTheFinalMergeSerial) {
+  ShardPlanInputs inputs;
+  inputs.input_records = 1000;
+  inputs.memory_records = 2000;
+  inputs.executor_capacity = 32;
+  const ShardPlan plan = PlanShardCount(inputs);
+  EXPECT_EQ(plan.shards, 1u);
+  EXPECT_EQ(plan.final_merge_threads, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // SortService
 
@@ -296,6 +344,54 @@ TEST(SortServiceTest, CancelsARunningJob) {
     ASSERT_TWRS_OK(env.ListDir("tmp", &names));
     EXPECT_TRUE(names.empty());
     EXPECT_FALSE(env.FileExists("out"));
+  }
+}
+
+TEST(SortServiceTest, DownsizedLeaseAdmitsTheNextJobMidMerge) {
+  MemEnv env;
+  auto input1 = WriteWorkload(&env, "in1", 400000, 11);
+  auto input2 = WriteWorkload(&env, "in2", 20000, 12);
+
+  // The governor holds exactly one full nominal lease: job 2 can only be
+  // admitted while job 1 still runs if job 1 returns part of its budget
+  // at merge begin. The proof is in the grant size — a lease granted
+  // after job 1 fully released would be the full nominal ask again.
+  // (Job 1's merge reads and rewrites 400k records after the downsize
+  // fires, while the blocked Reserve only needs its condition-variable
+  // wake — margin of several orders of magnitude.)
+  SortServiceOptions options;
+  options.max_concurrent_jobs = 2;
+  options.governor.capacity_records = 150000;
+  options.governor.min_lease_records = 4096;
+  SortService service(&env, options);
+
+  SortJobSpec spec1 = SpecFor("in1", "out1", 150000);
+  spec1.shards = 1;
+  SortJobSpec spec2 = SpecFor("in2", "out2", 150000);
+  spec2.shards = 1;
+  const size_t merge_records = MergePhaseMemoryRecords(spec1.sort);
+  ASSERT_LT(merge_records, 150000u);
+
+  JobHandle job1;
+  JobHandle job2;
+  ASSERT_TWRS_OK(service.Submit(spec1, &job1));
+  ASSERT_TWRS_OK(service.Submit(spec2, &job2));
+  ASSERT_TWRS_OK(job1.Wait());
+  ASSERT_TWRS_OK(job2.Wait());
+
+  const SortJobStats stats1 = job1.stats();
+  EXPECT_EQ(stats1.granted_memory_records, 150000u);
+  EXPECT_EQ(stats1.downsized_memory_records, merge_records);
+
+  const SortJobStats stats2 = job2.stats();
+  // Admitted out of the budget job 1 returned mid-merge.
+  EXPECT_EQ(stats2.granted_memory_records, 150000u - merge_records);
+
+  EXPECT_GE(service.GovernorStats().downsized_leases, 1u);
+
+  for (const char* out : {"out1", "out2"}) {
+    uint64_t count = 0;
+    ASSERT_TWRS_OK(VerifySortedFile(&env, out, &count, nullptr));
   }
 }
 
