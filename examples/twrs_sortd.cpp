@@ -189,7 +189,11 @@ int main(int argc, char** argv) {
     for (uint64_t j = jobs - std::min(cancel_last, jobs); j < jobs; ++j) {
       handles[j].Cancel();
     }
-    for (uint64_t j = 0; j < jobs; ++j) handles[j].Wait();
+    for (uint64_t j = 0; j < jobs; ++j) {
+      // Per-job outcomes are reported from the stats table below, where a
+      // failed or cancelled job shows up in its `state` column.
+      TWRS_IGNORE_STATUS(handles[j].Wait());
+    }
 
     const twrs::SortServiceStats stats = service.Stats();
     const twrs::MemoryGovernorStats governor = service.GovernorStats();

@@ -17,7 +17,11 @@ AsyncWritableFile::AsyncWritableFile(std::unique_ptr<WritableFile> base,
   }
 }
 
-AsyncWritableFile::~AsyncWritableFile() { Close(); }
+AsyncWritableFile::~AsyncWritableFile() {
+  // An error surfacing this late has nowhere to go; callers that care
+  // about the flush outcome call Close() themselves.
+  TWRS_IGNORE_STATUS(Close());
+}
 
 Status AsyncWritableFile::WaitForInflight() {
   if (pending_.valid()) {
@@ -74,7 +78,7 @@ Status AsyncWritableFile::Append(const void* data, size_t n) {
 Status AsyncWritableFile::Close() {
   if (closed_) return status_;
   closed_ = true;
-  WaitForInflight();
+  TWRS_IGNORE_STATUS(WaitForInflight());  // folded into status_ below
   if (status_.ok() && active_used_ > 0) {
     status_ = base_->Append(active_.data(), active_used_);
     active_used_ = 0;

@@ -1,11 +1,12 @@
 #ifndef TWRS_EXEC_BLOCKING_QUEUE_H_
 #define TWRS_EXEC_BLOCKING_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace twrs {
 
@@ -24,74 +25,73 @@ class BlockingQueue {
 
   /// Blocks until there is room (or the queue is closed). Returns false,
   /// dropping `value`, iff the queue was closed.
-  bool Push(T value) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+  bool Push(T value) TWRS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
     if (closed_) return false;
     items_.push_back(std::move(value));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking Push. Returns false when full or closed.
-  bool TryPush(T value) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryPush(T value) TWRS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(value));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available (or the queue is closed and empty).
   /// Returns false iff the queue is closed and fully drained.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  bool Pop(T* out) TWRS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Non-blocking Pop. Returns false when nothing is available.
-  bool TryPop(T* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryPop(T* out) TWRS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Marks the queue closed and wakes all blocked producers and consumers.
-  void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Close() TWRS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     closed_ = true;
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const TWRS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const TWRS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ TWRS_GUARDED_BY(mu_);
   const size_t capacity_;
-  bool closed_ = false;
+  bool closed_ TWRS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace twrs

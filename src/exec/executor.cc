@@ -17,7 +17,7 @@ size_t ResolvedCapacity(const ExecutorOptions& options) {
 Executor::Executor(ExecutorOptions options) : options_(options) {}
 
 ThreadPool* Executor::GetPool(const std::string& name, size_t threads) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = pools_.find(name);
   if (it == pools_.end()) {
     const size_t n = threads > 0 ? threads : ResolvedCapacity(options_);
@@ -27,31 +27,31 @@ ThreadPool* Executor::GetPool(const std::string& name, size_t threads) {
 }
 
 size_t Executor::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ResolvedCapacity(options_);
 }
 
 bool Executor::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!pools_.empty()) return false;
   options_.capacity = capacity;
   return true;
 }
 
 bool Executor::started() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return !pools_.empty();
 }
 
 size_t Executor::inflight_tasks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t total = 0;
   for (const auto& entry : pools_) total += entry.second->inflight_tasks();
   return total;
 }
 
 size_t Executor::pool_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pools_.size();
 }
 

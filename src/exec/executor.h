@@ -3,10 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "exec/thread_pool.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace twrs {
 
@@ -41,28 +42,29 @@ class Executor {
   /// Gets or creates the pool registered under `name`. `threads` sizes the
   /// pool only on creation (0 = capacity()); an existing pool is returned
   /// as-is.
-  ThreadPool* GetPool(const std::string& name, size_t threads = 0);
+  ThreadPool* GetPool(const std::string& name, size_t threads = 0)
+      TWRS_EXCLUDES(mu_);
 
   /// The resolved default-pool size (options.capacity, or the hardware
   /// concurrency when that is 0).
-  size_t capacity() const;
+  size_t capacity() const TWRS_EXCLUDES(mu_);
 
   /// Reconfigures the default capacity. Succeeds only while no pool has
   /// been created yet; returns false (changing nothing) afterwards, since
   /// running pools cannot be resized.
-  bool SetCapacity(size_t capacity);
+  bool SetCapacity(size_t capacity) TWRS_EXCLUDES(mu_);
 
   /// True once any pool has been created.
-  bool started() const;
+  bool started() const TWRS_EXCLUDES(mu_);
 
   /// Load gauge across every registered pool: tasks submitted but not yet
   /// finished. Approximate (see ThreadPool::inflight_tasks); the admission
   /// and shard-planning layers use it to avoid oversubscribing the
   /// executor, not for exact accounting.
-  size_t inflight_tasks() const;
+  size_t inflight_tasks() const TWRS_EXCLUDES(mu_);
 
   /// Number of pools currently registered.
-  size_t pool_count() const;
+  size_t pool_count() const TWRS_EXCLUDES(mu_);
 
   /// The process-wide shared executor. Never destroyed (leaked-singleton
   /// idiom, as Env::Default), so borrowed pools outlive every sort.
@@ -75,9 +77,10 @@ class Executor {
  private:
   static constexpr const char* kDefaultPool = "default";
 
-  mutable std::mutex mu_;
-  ExecutorOptions options_;
-  std::map<std::string, std::unique_ptr<ThreadPool>> pools_;
+  mutable Mutex mu_;
+  ExecutorOptions options_ TWRS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<ThreadPool>> pools_
+      TWRS_GUARDED_BY(mu_);
 };
 
 }  // namespace twrs

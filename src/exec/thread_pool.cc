@@ -8,7 +8,7 @@ namespace twrs {
 void TaskHandle::RunIfUnclaimed(const std::shared_ptr<State>& state) {
   std::function<Status()> fn;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     if (state->phase != State::kQueued) return;
     state->phase = State::kRunning;
     fn = std::move(state->fn);
@@ -23,24 +23,24 @@ void TaskHandle::RunIfUnclaimed(const std::shared_ptr<State>& state) {
     state->inflight_gauge = nullptr;
   }
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     state->result = std::move(result);
     state->phase = State::kDone;
   }
-  state->cv.notify_all();
+  state->cv.NotifyAll();
 }
 
 Status TaskHandle::Wait() {
   if (state_ == nullptr) return Status::OK();
   RunIfUnclaimed(state_);
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [this] { return state_->phase == State::kDone; });
+  MutexLock lock(&state_->mu);
+  while (state_->phase != State::kDone) state_->cv.Wait(state_->mu);
   return state_->result;
 }
 
 bool TaskHandle::done() const {
   if (state_ == nullptr) return true;
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   return state_->phase == State::kDone;
 }
 
@@ -54,22 +54,27 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 TaskHandle ThreadPool::Submit(std::function<Status()> fn,
                               TaskPriority priority) {
   auto state = std::make_shared<TaskHandle::State>();
-  state->fn = std::move(fn);
+  {
+    // Not yet shared with any other thread, but `fn` is guarded state and
+    // the uncontended lock keeps the initialization analyzable.
+    MutexLock lock(&state->mu);
+    state->fn = std::move(fn);
+  }
   state->inflight_gauge = &inflight_;
   inflight_.fetch_add(1, std::memory_order_relaxed);
   bool queued = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!stopping_) {
       (priority == TaskPriority::kHigh ? high_queue_ : queue_)
           .push_back(state);
@@ -77,7 +82,7 @@ TaskHandle ThreadPool::Submit(std::function<Status()> fn,
     }
   }
   if (queued) {
-    cv_.notify_one();
+    cv_.NotifyOne();
   } else {
     // A pool that is shutting down no longer accepts queue entries; run the
     // task on the caller so the handle still completes.
@@ -90,10 +95,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<TaskHandle::State> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] {
-        return stopping_ || !queue_.empty() || !high_queue_.empty();
-      });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty() && high_queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       std::deque<std::shared_ptr<TaskHandle::State>>& source =
           !high_queue_.empty() ? high_queue_ : queue_;
       if (source.empty()) return;  // stopping_ and nothing left to run

@@ -2,15 +2,15 @@
 #define TWRS_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace twrs {
 
@@ -38,16 +38,18 @@ class TaskHandle {
   friend class ThreadPool;
 
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
-    enum Phase { kQueued, kRunning, kDone } phase = kQueued;
-    std::function<Status()> fn;
-    Status result;
+    Mutex mu;
+    CondVar cv;
+    enum Phase { kQueued, kRunning, kDone } phase TWRS_GUARDED_BY(mu) = kQueued;
+    std::function<Status()> fn TWRS_GUARDED_BY(mu);
+    Status result TWRS_GUARDED_BY(mu);
 
     /// Pool-load gauge this task decrements when it finishes (set by
     /// Submit). Decremented strictly before kDone is published: once a
     /// waiter can observe completion it may destroy the pool, and the
     /// runner may be a work-helping outsider the destructor never joins.
+    /// Not guarded by `mu`: written once before the handle is shared, then
+    /// owned by the single thread that wins the kQueued→kRunning claim.
     std::atomic<uint64_t>* inflight_gauge = nullptr;
   };
 
@@ -84,7 +86,8 @@ class ThreadPool {
 
   /// Enqueues `fn` and returns a waitable handle to its completion.
   TaskHandle Submit(std::function<Status()> fn,
-                    TaskPriority priority = TaskPriority::kNormal);
+                    TaskPriority priority = TaskPriority::kNormal)
+      TWRS_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -97,13 +100,16 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() TWRS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<TaskHandle::State>> queue_;
-  std::deque<std::shared_ptr<TaskHandle::State>> high_queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<TaskHandle::State>> queue_ TWRS_GUARDED_BY(mu_);
+  std::deque<std::shared_ptr<TaskHandle::State>> high_queue_
+      TWRS_GUARDED_BY(mu_);
+  bool stopping_ TWRS_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, joined only by the destructor; never
+  /// touched concurrently, so unguarded.
   std::vector<std::thread> threads_;
   std::atomic<uint64_t> inflight_{0};
 };

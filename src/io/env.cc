@@ -33,7 +33,7 @@ void RemoveTreeBestEffort(Env* env, const std::string& path) {
       if (!env->RemoveFile(child).ok()) RemoveTreeBestEffort(env, child);
     }
   }
-  env->RemoveDir(path);
+  TWRS_IGNORE_STATUS(env->RemoveDir(path));
 }
 
 Status PreflightTempDir(Env* env, const std::string& temp_dir) {
@@ -47,7 +47,11 @@ Status PreflightTempDir(Env* env, const std::string& temp_dir) {
       const uint8_t byte = 0;
       s = file->Append(&byte, 1);
       if (s.ok()) s = file->Close();
-      env->RemoveFile(probe);
+      // A probe that cannot be unlinked fails the preflight too: every
+      // sort's scratch cleanup needs the very same removal, so a directory
+      // that only accepts creations would fill with orphaned run files.
+      Status remove_status = env->RemoveFile(probe);
+      if (s.ok()) s = remove_status;
     }
   }
   if (!s.ok()) {

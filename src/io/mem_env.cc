@@ -16,7 +16,7 @@ class MemWritableFile : public WritableFile {
 
   Status Append(const void* data, size_t n) override {
     const uint8_t* p = static_cast<const uint8_t*>(data);
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(&file_->mu);
     file_->data.insert(file_->data.end(), p, p + n);
     return Status::OK();
   }
@@ -33,7 +33,7 @@ class MemSequentialFile : public SequentialFile {
       : file_(std::move(file)) {}
 
   Status Read(void* out, size_t n, size_t* bytes_read) override {
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(&file_->mu);
     size_t avail = file_->data.size() - pos_;
     size_t take = std::min(n, avail);
     // An empty vector's data() may be null, and memcpy requires non-null
@@ -45,7 +45,7 @@ class MemSequentialFile : public SequentialFile {
   }
 
   Status Skip(uint64_t n) override {
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(&file_->mu);
     pos_ = std::min(file_->data.size(), pos_ + static_cast<size_t>(n));
     return Status::OK();
   }
@@ -61,14 +61,14 @@ class MemRandomRWFile : public RandomRWFile {
       : file_(std::move(file)) {}
 
   Status WriteAt(uint64_t offset, const void* data, size_t n) override {
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(&file_->mu);
     if (offset + n > file_->data.size()) file_->data.resize(offset + n, 0);
     if (n > 0) std::memcpy(file_->data.data() + offset, data, n);
     return Status::OK();
   }
 
   Status ReadAt(uint64_t offset, void* out, size_t n) override {
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(&file_->mu);
     if (offset + n > file_->data.size()) {
       return Status::IOError("short read in mem file");
     }
@@ -88,7 +88,7 @@ Status MemEnv::NewWritableFile(const std::string& path,
                                std::unique_ptr<WritableFile>* out) {
   auto file = std::make_shared<MemEnvFile>();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     files_[path] = file;
   }
   out->reset(new MemWritableFile(std::move(file)));
@@ -97,7 +97,7 @@ Status MemEnv::NewWritableFile(const std::string& path,
 
 Status MemEnv::NewSequentialFile(const std::string& path,
                                  std::unique_ptr<SequentialFile>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   out->reset(new MemSequentialFile(it->second));
@@ -108,7 +108,7 @@ Status MemEnv::NewRandomRWFile(const std::string& path,
                                std::unique_ptr<RandomRWFile>* out) {
   auto file = std::make_shared<MemEnvFile>();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     files_[path] = file;
   }
   out->reset(new MemRandomRWFile(std::move(file)));
@@ -117,7 +117,7 @@ Status MemEnv::NewRandomRWFile(const std::string& path,
 
 Status MemEnv::ReopenRandomRWFile(const std::string& path,
                                   std::unique_ptr<RandomRWFile>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   out->reset(new MemRandomRWFile(it->second));
@@ -126,7 +126,7 @@ Status MemEnv::ReopenRandomRWFile(const std::string& path,
 
 Status MemEnv::NewRandomReadFile(const std::string& path,
                                  std::unique_ptr<RandomRWFile>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   out->reset(new MemRandomRWFile(it->second));
@@ -134,12 +134,12 @@ Status MemEnv::NewRandomReadFile(const std::string& path,
 }
 
 bool MemEnv::FileExists(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.count(path) > 0;
 }
 
 Status MemEnv::RemoveFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (files_.erase(path) == 0) return Status::NotFound(path);
   return Status::OK();
 }
@@ -147,12 +147,12 @@ Status MemEnv::RemoveFile(const std::string& path) {
 Status MemEnv::GetFileSize(const std::string& path, uint64_t* size) {
   std::shared_ptr<MemEnvFile> file;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(path);
     if (it == files_.end()) return Status::NotFound(path);
     file = it->second;
   }
-  std::lock_guard<std::mutex> lock(file->mu);
+  MutexLock lock(&file->mu);
   *size = file->data.size();
   return Status::OK();
 }
@@ -173,7 +173,7 @@ Status MemEnv::ListDir(const std::string& path,
   const std::string prefix = path.empty() || path.back() == '/'
                                  ? path
                                  : path + "/";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
     const std::string& file = it->first;
     if (file.compare(0, prefix.size(), prefix) != 0) break;
@@ -190,9 +190,17 @@ Status MemEnv::ListDir(const std::string& path,
 
 const std::vector<uint8_t>* MemEnv::FileContents(
     const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = files_.find(path);
-  return it == files_.end() ? nullptr : &it->second->data;
+  std::shared_ptr<MemEnvFile> file;
+  {
+    MutexLock lock(&mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return nullptr;
+    file = it->second;
+  }
+  // The pointer is taken under the file's own lock; the caller's contract
+  // (no concurrent writer) covers the dereferences that follow.
+  MutexLock lock(&file->mu);
+  return &file->data;
 }
 
 }  // namespace twrs

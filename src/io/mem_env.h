@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "io/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace twrs {
 
@@ -17,8 +18,8 @@ namespace internal {
 /// One stored MemEnv file: its bytes plus the per-file lock every open
 /// handle takes around an access.
 struct MemEnvFile {
-  std::mutex mu;
-  std::vector<uint8_t> data;
+  Mutex mu;
+  std::vector<uint8_t> data TWRS_GUARDED_BY(mu);
 };
 
 }  // namespace internal
@@ -52,19 +53,21 @@ class MemEnv : public Env {
                  std::vector<std::string>* names) override;
 
   /// Number of files currently stored (test helper).
-  size_t FileCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t FileCount() const TWRS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return files_.size();
   }
 
   /// Direct access to a file's bytes (test helper); null if absent. Only
   /// safe while no writer has the file open.
-  const std::vector<uint8_t>* FileContents(const std::string& path) const;
+  const std::vector<uint8_t>* FileContents(const std::string& path) const
+      TWRS_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Shared so that open handles survive RemoveFile, as POSIX does.
-  std::map<std::string, std::shared_ptr<internal::MemEnvFile>> files_;
+  std::map<std::string, std::shared_ptr<internal::MemEnvFile>> files_
+      TWRS_GUARDED_BY(mu_);
 };
 
 }  // namespace twrs

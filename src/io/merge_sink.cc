@@ -62,8 +62,8 @@ RangeMergeSink::~RangeMergeSink() {
   // Error-path unwinding: the merged bytes are being discarded, so the
   // active buffer is dropped rather than flushed; only quiesce the
   // background write and release the handle.
-  WaitForInflight();
-  file_->Close();
+  TWRS_IGNORE_STATUS(WaitForInflight());
+  TWRS_IGNORE_STATUS(file_->Close());
 }
 
 Status RangeMergeSink::WaitForInflight() {
@@ -132,7 +132,7 @@ Status RangeMergeSink::Write(const void* data, size_t n) {
 Status RangeMergeSink::Finish() {
   if (finished_) return status_;
   finished_ = true;
-  WaitForInflight();
+  TWRS_IGNORE_STATUS(WaitForInflight());  // folded into status_ below
   if (status_.ok() && active_used_ > 0) {
     status_ = file_->WriteAt(flush_pos_, active_.data(), active_used_);
     flush_pos_ += active_used_;

@@ -47,7 +47,11 @@ class AppendMergeSink : public MergeSink {
   explicit AppendMergeSink(std::unique_ptr<WritableFile> file)
       : file_(std::move(file)) {}
 
-  ~AppendMergeSink() override { Finish(); }
+  ~AppendMergeSink() override {
+    // Destruction is the unchecked path; Finish() is the checked one and
+    // any error it saw is already sticky in status_.
+    TWRS_IGNORE_STATUS(Finish());
+  }
 
   Status Write(const void* data, size_t n) override;
   Status Finish() override;

@@ -13,8 +13,23 @@ namespace twrs {
 
 namespace {
 
+// strerror_r comes in two flavors: the POSIX variant returns int and fills
+// `buf`, while glibc's _GNU_SOURCE variant returns the message directly and
+// may ignore `buf`. Overload resolution on the return value picks the right
+// interpretation for whichever the platform declared.
+inline const char* StrerrorResult(int /*ret*/, const char* buf) { return buf; }
+inline const char* StrerrorResult(const char* ret, const char* /*buf*/) {
+  return ret;
+}
+
 Status ErrnoStatus(const std::string& context) {
-  return Status::IOError(context + ": " + std::strerror(errno));
+  // strerror_r instead of strerror: pool workers and background flushers
+  // hit I/O errors concurrently, and strerror may reuse a static buffer
+  // (clang-tidy concurrency-mt-unsafe).
+  char buf[128];
+  buf[0] = '\0';
+  const char* msg = StrerrorResult(::strerror_r(errno, buf, sizeof(buf)), buf);
+  return Status::IOError(context + ": " + msg);
 }
 
 class PosixWritableFile : public WritableFile {

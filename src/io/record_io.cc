@@ -23,7 +23,9 @@ RecordWriter::RecordWriter(std::unique_ptr<WritableFile> file,
 }
 
 RecordWriter::~RecordWriter() {
-  if (!finished_ && file_ != nullptr) Finish();
+  // Callers that need the flush outcome call Finish() themselves; by the
+  // time the destructor runs there is nowhere left to report it.
+  if (!finished_ && file_ != nullptr) TWRS_IGNORE_STATUS(Finish());
 }
 
 Status RecordWriter::Append(Key key) {

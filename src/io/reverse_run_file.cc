@@ -56,7 +56,9 @@ ReverseRunWriter::ReverseRunWriter(Env* env, std::string base_path,
 }
 
 ReverseRunWriter::~ReverseRunWriter() {
-  if (!finished_) Finish();
+  // Callers that need the flush outcome call Finish() themselves; by the
+  // time the destructor runs there is nowhere left to report it.
+  if (!finished_) TWRS_IGNORE_STATUS(Finish());
 }
 
 Status ReverseRunWriter::OpenNextFile() {

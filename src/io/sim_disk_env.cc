@@ -8,7 +8,7 @@ namespace twrs {
 void DiskModel::Access(uint64_t file_id, uint64_t offset, uint64_t n) {
   double access_seconds = 0.0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const bool forward_contiguous =
         file_id == last_file_ && offset == last_end_offset_;
     const bool backward_contiguous =
@@ -32,16 +32,17 @@ void DiskModel::Access(uint64_t file_id, uint64_t offset, uint64_t n) {
 }
 
 double DiskModel::SimulatedSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<double>(seeks_) * config_.seek_seconds +
          static_cast<double>(bytes_) / config_.bandwidth_bytes_per_second;
 }
 
 void DiskModel::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   seeks_ = 0;
   bytes_ = 0;
   last_file_ = UINT64_MAX;
+  last_start_offset_ = 0;
   last_end_offset_ = 0;
 }
 
@@ -125,7 +126,7 @@ SimDiskEnv::SimDiskEnv(Env* base, DiskModelConfig config)
     : base_(base), model_(config) {}
 
 uint64_t SimDiskEnv::FileId(const std::string& path) {
-  std::lock_guard<std::mutex> lock(file_ids_mu_);
+  MutexLock lock(&file_ids_mu_);
   auto [it, inserted] = file_ids_.emplace(path, next_file_id_);
   if (inserted) ++next_file_id_;
   return it->second;

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "io/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace twrs {
 
@@ -43,30 +44,34 @@ class DiskModel {
       : config_(config) {}
 
   /// Charges one access of `n` bytes at `offset` of file `file_id`.
-  void Access(uint64_t file_id, uint64_t offset, uint64_t n);
+  void Access(uint64_t file_id, uint64_t offset, uint64_t n)
+      TWRS_EXCLUDES(mu_);
 
   /// Total simulated seconds so far.
-  double SimulatedSeconds() const;
+  double SimulatedSeconds() const TWRS_EXCLUDES(mu_);
 
-  uint64_t seeks() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t seeks() const TWRS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return seeks_;
   }
-  uint64_t bytes_transferred() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes_transferred() const TWRS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return bytes_;
   }
 
-  void Reset();
+  void Reset() TWRS_EXCLUDES(mu_);
 
  private:
-  DiskModelConfig config_;
-  mutable std::mutex mu_;
-  uint64_t seeks_ = 0;
-  uint64_t bytes_ = 0;
-  uint64_t last_file_ = UINT64_MAX;
-  uint64_t last_start_offset_ = 0;
-  uint64_t last_end_offset_ = 0;
+  /// Immutable after construction; read without the lock (notably
+  /// `realtime`, polled outside it so the emulated sleep never serializes
+  /// concurrent accesses behind the accounting).
+  const DiskModelConfig config_;
+  mutable Mutex mu_;
+  uint64_t seeks_ TWRS_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_ TWRS_GUARDED_BY(mu_) = 0;
+  uint64_t last_file_ TWRS_GUARDED_BY(mu_) = UINT64_MAX;
+  uint64_t last_start_offset_ TWRS_GUARDED_BY(mu_) = 0;
+  uint64_t last_end_offset_ TWRS_GUARDED_BY(mu_) = 0;
 };
 
 /// Env decorator that forwards all operations to a base Env while charging
@@ -100,13 +105,14 @@ class SimDiskEnv : public Env {
   const DiskModel& model() const { return model_; }
 
  private:
-  uint64_t FileId(const std::string& path);
+  uint64_t FileId(const std::string& path) TWRS_EXCLUDES(file_ids_mu_);
 
   Env* base_;
   DiskModel model_;
-  std::mutex file_ids_mu_;
-  std::unordered_map<std::string, uint64_t> file_ids_;
-  uint64_t next_file_id_ = 0;
+  Mutex file_ids_mu_;
+  std::unordered_map<std::string, uint64_t> file_ids_
+      TWRS_GUARDED_BY(file_ids_mu_);
+  uint64_t next_file_id_ TWRS_GUARDED_BY(file_ids_mu_) = 0;
 };
 
 }  // namespace twrs

@@ -133,7 +133,9 @@ Status ExternalSorter::SortInternal(RecordSource* source,
       if (!options_.keep_temp_files) {
         RemoveTreeBestEffort(&env, context.sort_dir);
       }
-      if (env.watched_created()) env.RemoveFile(output_path);  // best-effort
+      if (env.watched_created()) {
+        TWRS_IGNORE_STATUS(env.RemoveFile(output_path));  // best-effort
+      }
       return s;
     }
   }

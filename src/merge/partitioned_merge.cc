@@ -358,7 +358,7 @@ Status FinalMergeToOutput(Env* env, const std::vector<RunInfo>& runs,
     // A torn positioned file has holes rather than a clean prefix; remove
     // it when this call created it (a shared output belongs to its
     // creator's cleanup).
-    if (created) env->RemoveFile(output_path);  // best-effort
+    if (created) TWRS_IGNORE_STATUS(env->RemoveFile(output_path));
     return first_error;
   }
 

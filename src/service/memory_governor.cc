@@ -39,19 +39,19 @@ Status MemoryGovernor::Reserve(size_t nominal_records, MemoryLease* lease,
   const size_t ask = std::min(nominal_records, options_.capacity_records);
   const size_t floor = FloorFor(ask);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t ticket = next_ticket_++;
   waiters_.push_back(ticket);
-  cv_.wait(lock, [&] {
-    if (IsCancelled(cancel)) return true;
-    return waiters_.front() == ticket &&
-           options_.capacity_records - reserved_ >= floor;
-  });
+  while (!IsCancelled(cancel) &&
+         !(waiters_.front() == ticket &&
+           options_.capacity_records - reserved_ >= floor)) {
+    cv_.Wait(mu_);
+  }
   if (IsCancelled(cancel)) {
     waiters_.erase(std::find(waiters_.begin(), waiters_.end(), ticket));
     // A cancelled front ticket may have been the only thing gating the
     // next waiter.
-    cv_.notify_all();
+    cv_.NotifyAll();
     return Status::Cancelled("memory reservation cancelled");
   }
   waiters_.pop_front();
@@ -62,7 +62,7 @@ Status MemoryGovernor::Reserve(size_t nominal_records, MemoryLease* lease,
   if (granted < nominal_records) ++shrunk_leases_;
   *lease = MemoryLease(this, granted);
   // Whatever budget remains may satisfy the next ticket's floor.
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
@@ -70,7 +70,7 @@ bool MemoryGovernor::TryReserve(size_t nominal_records, MemoryLease* lease) {
   if (nominal_records == 0) return false;
   const size_t ask = std::min(nominal_records, options_.capacity_records);
   const size_t floor = FloorFor(ask);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // No barging: a try-reservation never jumps the FIFO queue.
   if (!waiters_.empty()) return false;
   const size_t free = options_.capacity_records - reserved_;
@@ -84,25 +84,25 @@ bool MemoryGovernor::TryReserve(size_t nominal_records, MemoryLease* lease) {
 }
 
 void MemoryGovernor::WakeWaiters() {
-  std::lock_guard<std::mutex> lock(mu_);
-  cv_.notify_all();
+  MutexLock lock(&mu_);
+  cv_.NotifyAll();
 }
 
 void MemoryGovernor::Release(size_t records) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   reserved_ -= std::min(records, reserved_);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void MemoryGovernor::ReleaseDownsized(size_t records) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   reserved_ -= std::min(records, reserved_);
   ++downsized_leases_;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 MemoryGovernorStats MemoryGovernor::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MemoryGovernorStats stats;
   stats.capacity_records = options_.capacity_records;
   stats.reserved_records = reserved_;

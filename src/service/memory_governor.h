@@ -1,15 +1,15 @@
 #ifndef TWRS_SERVICE_MEMORY_GOVERNOR_H_
 #define TWRS_SERVICE_MEMORY_GOVERNOR_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <utility>
 
 #include "util/cancel.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace twrs {
 
@@ -113,16 +113,17 @@ class MemoryGovernor {
   /// `cancel` fires while waiting (wake it via WakeWaiters), returns
   /// Cancelled without a grant. InvalidArgument on a zero ask.
   Status Reserve(size_t nominal_records, MemoryLease* lease,
-                 const CancelToken* cancel = nullptr);
+                 const CancelToken* cancel = nullptr) TWRS_EXCLUDES(mu_);
 
   /// Non-blocking variant: grants only if no one is waiting (no barging
   /// past the FIFO queue) and the floor is free right now.
-  bool TryReserve(size_t nominal_records, MemoryLease* lease);
+  bool TryReserve(size_t nominal_records, MemoryLease* lease)
+      TWRS_EXCLUDES(mu_);
 
   /// Wakes blocked Reserve calls so they can observe their CancelToken.
-  void WakeWaiters();
+  void WakeWaiters() TWRS_EXCLUDES(mu_);
 
-  MemoryGovernorStats Stats() const;
+  MemoryGovernorStats Stats() const TWRS_EXCLUDES(mu_);
 
   const MemoryGovernorOptions& options() const { return options_; }
 
@@ -133,23 +134,24 @@ class MemoryGovernor {
   /// capacity.
   size_t FloorFor(size_t nominal) const;
 
-  void Release(size_t records);
+  void Release(size_t records) TWRS_EXCLUDES(mu_);
 
   /// Release for a mid-flight Downsize: also counts the event.
-  void ReleaseDownsized(size_t records);
+  void ReleaseDownsized(size_t records) TWRS_EXCLUDES(mu_);
 
+  /// Immutable after the constructor's clamp; read without the lock.
   MemoryGovernorOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  size_t reserved_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  size_t reserved_ TWRS_GUARDED_BY(mu_) = 0;
   /// FIFO admission queue: tickets of the callers blocked in Reserve, in
   /// arrival order. Only the front ticket may be granted.
-  std::deque<uint64_t> waiters_;
-  uint64_t next_ticket_ = 0;
-  uint64_t total_leases_ = 0;
-  uint64_t shrunk_leases_ = 0;
-  uint64_t downsized_leases_ = 0;
+  std::deque<uint64_t> waiters_ TWRS_GUARDED_BY(mu_);
+  uint64_t next_ticket_ TWRS_GUARDED_BY(mu_) = 0;
+  uint64_t total_leases_ TWRS_GUARDED_BY(mu_) = 0;
+  uint64_t shrunk_leases_ TWRS_GUARDED_BY(mu_) = 0;
+  uint64_t downsized_leases_ TWRS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace twrs

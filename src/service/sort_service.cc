@@ -19,8 +19,8 @@ namespace internal {
 /// holds `mu` through the wake-up, which blocks Shutdown — and therefore
 /// destruction — until the service call returns.
 struct ServiceLink {
-  std::mutex mu;
-  SortService* service = nullptr;
+  Mutex mu;
+  SortService* service TWRS_GUARDED_BY(mu) = nullptr;
 };
 
 /// Shared state of one job, owned jointly by the service (queue, scheduler,
@@ -30,21 +30,23 @@ struct SortJob {
   CancelToken cancel;
   Stopwatch submitted_at;
 
-  /// Wake-up channel for JobHandle::Cancel (see ServiceLink).
+  /// Wake-up channel for JobHandle::Cancel (see ServiceLink). Set once
+  /// before the job is published; immutable afterwards, so unguarded.
   std::shared_ptr<ServiceLink> link;
 
-  mutable std::mutex mu;
-  std::condition_variable cv;
-  JobState state = JobState::kQueued;
-  Status status;
-  size_t granted_memory_records = 0;
-  size_t downsized_memory_records = 0;
-  size_t planned_shards = 0;
-  size_t planned_final_merge_threads = 0;
-  ShardPlanLimit plan_limit = ShardPlanLimit::kInputFitsInMemory;
-  double queue_seconds = 0.0;
-  double total_seconds = 0.0;
-  ShardedSortResult result;
+  mutable Mutex mu;
+  CondVar cv;
+  JobState state TWRS_GUARDED_BY(mu) = JobState::kQueued;
+  Status status TWRS_GUARDED_BY(mu);
+  size_t granted_memory_records TWRS_GUARDED_BY(mu) = 0;
+  size_t downsized_memory_records TWRS_GUARDED_BY(mu) = 0;
+  size_t planned_shards TWRS_GUARDED_BY(mu) = 0;
+  size_t planned_final_merge_threads TWRS_GUARDED_BY(mu) = 0;
+  ShardPlanLimit plan_limit TWRS_GUARDED_BY(mu) =
+      ShardPlanLimit::kInputFitsInMemory;
+  double queue_seconds TWRS_GUARDED_BY(mu) = 0.0;
+  double total_seconds TWRS_GUARDED_BY(mu) = 0.0;
+  ShardedSortResult result TWRS_GUARDED_BY(mu);
 };
 
 namespace {
@@ -84,8 +86,8 @@ JobHandle::~JobHandle() = default;
 
 Status JobHandle::Wait() {
   if (job_ == nullptr) return Status::OK();
-  std::unique_lock<std::mutex> lock(job_->mu);
-  job_->cv.wait(lock, [this] { return internal::IsTerminal(job_->state); });
+  MutexLock lock(&job_->mu);
+  while (!internal::IsTerminal(job_->state)) job_->cv.Wait(job_->mu);
   return job_->status;
 }
 
@@ -94,25 +96,25 @@ void JobHandle::Cancel() {
   job_->cancel.Cancel();
   std::shared_ptr<internal::ServiceLink> link;
   {
-    std::lock_guard<std::mutex> lock(job_->mu);
+    MutexLock lock(&job_->mu);
     if (internal::IsTerminal(job_->state)) return;
     link = job_->link;
   }
   if (link == nullptr) return;
-  std::lock_guard<std::mutex> lock(link->mu);
+  MutexLock lock(&link->mu);
   if (link->service != nullptr) link->service->OnJobCancelled();
 }
 
 JobState JobHandle::state() const {
   if (job_ == nullptr) return JobState::kCancelled;
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(&job_->mu);
   return job_->state;
 }
 
 SortJobStats JobHandle::stats() const {
   SortJobStats stats;
   if (job_ == nullptr) return stats;
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(&job_->mu);
   stats.state = job_->state;
   stats.status = job_->status;
   stats.nominal_memory_records = job_->spec.sort.memory_records;
@@ -162,12 +164,12 @@ Status SortService::Submit(const SortJobSpec& spec, JobHandle* handle) {
   // a burst.
   bool preflight_needed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     preflight_needed = spec.sort.temp_dir != preflighted_temp_dir_;
   }
   if (preflight_needed) {
     TWRS_RETURN_IF_ERROR(PreflightTempDir(env_, spec.sort.temp_dir));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     preflighted_temp_dir_ = spec.sort.temp_dir;
   }
 
@@ -176,7 +178,7 @@ Status SortService::Submit(const SortJobSpec& spec, JobHandle* handle) {
   job->spec.sort.cancel = nullptr;  // the job's own token is authoritative
   job->link = link_;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) {
       ++stats_.rejected;
       return Status::Busy("sort service is shutting down");
@@ -191,26 +193,28 @@ Status SortService::Submit(const SortJobSpec& spec, JobHandle* handle) {
     queue_.push_back(job);
     stats_.peak_queued = std::max(stats_.peak_queued, queue_.size());
   }
-  scheduler_cv_.notify_one();
+  scheduler_cv_.NotifyOne();
   if (handle != nullptr) *handle = JobHandle(std::move(job));
   return Status::OK();
+}
+
+bool SortService::SchedulerShouldWake() const {
+  if (stopping_) return true;
+  if (queue_.empty()) return false;
+  if (running_ < options_.max_concurrent_jobs) return true;
+  // Cancelled jobs are finalized even at full concurrency.
+  for (const auto& queued : queue_) {
+    if (queued->cancel.cancelled()) return true;
+  }
+  return false;
 }
 
 void SortService::SchedulerLoop() {
   for (;;) {
     std::shared_ptr<SortJob> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      scheduler_cv_.wait(lock, [this] {
-        if (stopping_) return true;
-        if (queue_.empty()) return false;
-        if (running_ < options_.max_concurrent_jobs) return true;
-        // Cancelled jobs are finalized even at full concurrency.
-        for (const auto& queued : queue_) {
-          if (queued->cancel.cancelled()) return true;
-        }
-        return false;
-      });
+      MutexLock lock(&mu_);
+      while (!SchedulerShouldWake()) scheduler_cv_.Wait(mu_);
       if (stopping_) return;
       if (!queue_.empty() && running_ < options_.max_concurrent_jobs) {
         job = queue_.front();
@@ -232,7 +236,7 @@ void SortService::SchedulerLoop() {
     Status reserve_status = governor_.Reserve(job->spec.sort.memory_records,
                                               &lease, &job->cancel);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       admitting_.reset();
     }
     if (!reserve_status.ok()) {
@@ -244,7 +248,7 @@ void SortService::SchedulerLoop() {
     }
 
     {
-      std::lock_guard<std::mutex> lock(job->mu);
+      MutexLock lock(&job->mu);
       job->state = JobState::kAdmitted;
       job->granted_memory_records = lease.records();
       job->queue_seconds = job->submitted_at.ElapsedSeconds();
@@ -259,7 +263,10 @@ void SortService::SchedulerLoop() {
     } else {
       ShardPlanInputs inputs;
       uint64_t input_bytes = 0;
-      env_->GetFileSize(job->spec.input_path, &input_bytes);  // 0 on error
+      // Best-effort probe: on error the planner sees zero records and
+      // simply plans a single shard.
+      TWRS_IGNORE_STATUS(
+          env_->GetFileSize(job->spec.input_path, &input_bytes));
       inputs.input_records = input_bytes / kRecordBytes;
       inputs.memory_records = lease.records();
       inputs.executor_capacity = executor_->capacity();
@@ -269,7 +276,7 @@ void SortService::SchedulerLoop() {
     }
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (lease.records() < job->spec.sort.memory_records) {
         ++stats_.shrunk_admissions;
       }
@@ -293,7 +300,7 @@ void SortService::RunJob(std::shared_ptr<SortJob> job,
                                          ? job->spec.final_merge_threads
                                          : plan.final_merge_threads;
   {
-    std::lock_guard<std::mutex> lock(job->mu);
+    MutexLock lock(&job->mu);
     job->state = JobState::kRunning;
     job->planned_shards = plan.shards;
     job->planned_final_merge_threads = final_merge_threads;
@@ -329,7 +336,7 @@ void SortService::RunJob(std::shared_ptr<SortJob> job,
     lease->Downsize(merge_records);
     const size_t after = lease->records();
     if (after < before) {
-      std::lock_guard<std::mutex> lock(job->mu);
+      MutexLock lock(&job->mu);
       job->downsized_memory_records = after;
     }
   };
@@ -346,7 +353,7 @@ void SortService::RunJob(std::shared_ptr<SortJob> job,
   } else if (!status.ok()) {
     terminal = JobState::kFailed;
   } else {
-    std::lock_guard<std::mutex> lock(job->mu);
+    MutexLock lock(&job->mu);
     job->result = std::move(result);
   }
   FinishJob(job, terminal, std::move(status), /*was_running=*/true);
@@ -357,7 +364,7 @@ void SortService::FinishJob(const std::shared_ptr<SortJob>& job,
   // Outcome counters first: once the job's waiters wake, a Stats() call
   // must already see this job counted.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     switch (state) {
       case JobState::kDone:
         ++stats_.completed;
@@ -371,27 +378,27 @@ void SortService::FinishJob(const std::shared_ptr<SortJob>& job,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(job->mu);
+    MutexLock lock(&job->mu);
     job->state = state;
     job->status = std::move(status);
     job->total_seconds = job->submitted_at.ElapsedSeconds();
   }
-  job->cv.notify_all();
+  job->cv.NotifyAll();
   // The running slot is given back last, with the notifies under the lock:
   // running_ == 0 releases ~SortService, so this must be FinishJob's final
   // touch of the service.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (was_running) --running_;
-    scheduler_cv_.notify_all();
-    drained_cv_.notify_all();
+    scheduler_cv_.NotifyAll();
+    drained_cv_.NotifyAll();
   }
 }
 
 void SortService::SweepCancelledQueuedJobs() {
   std::vector<std::shared_ptr<SortJob>> cancelled_jobs;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto it = queue_.begin(); it != queue_.end();) {
       if ((*it)->cancel.cancelled()) {
         cancelled_jobs.push_back(*it);
@@ -415,7 +422,7 @@ void SortService::OnJobCancelled() {
   // reach its terminal state.
   SweepCancelledQueuedJobs();
   governor_.WakeWaiters();
-  scheduler_cv_.notify_all();
+  scheduler_cv_.NotifyAll();
 }
 
 void SortService::Shutdown() {
@@ -423,20 +430,20 @@ void SortService::Shutdown() {
   // nulled no handle can re-enter the service, and a Cancel already past
   // the null check finishes before this lock is granted.
   {
-    std::lock_guard<std::mutex> lock(link_->mu);
+    MutexLock lock(&link_->mu);
     link_->service = nullptr;
   }
   std::deque<std::shared_ptr<SortJob>> leftover;
   std::shared_ptr<SortJob> admitting;
   bool already_stopping;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     already_stopping = stopping_;
     stopping_ = true;
     leftover.swap(queue_);
     admitting = admitting_;
   }
-  scheduler_cv_.notify_all();
+  scheduler_cv_.NotifyAll();
   // The job mid-admission unwinds out of its blocking Reserve.
   if (admitting != nullptr) admitting->cancel.Cancel();
   governor_.WakeWaiters();
@@ -454,12 +461,12 @@ void SortService::Shutdown() {
   // Running jobs finish on their own (or unwind from their cancellation
   // points if the caller cancelled them); wait them out so no executor
   // task references this service after destruction.
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] { return running_ == 0; });
+  MutexLock lock(&mu_);
+  while (running_ != 0) drained_cv_.Wait(mu_);
 }
 
 SortServiceStats SortService::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SortServiceStats stats = stats_;
   stats.queued = queue_.size();
   stats.running = running_;

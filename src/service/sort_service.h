@@ -1,11 +1,9 @@
 #ifndef TWRS_SERVICE_SORT_SERVICE_H_
 #define TWRS_SERVICE_SORT_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -15,8 +13,10 @@
 #include "service/shard_planner.h"
 #include "shard/sharded_sorter.h"
 #include "util/cancel.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace twrs {
 
@@ -192,13 +192,14 @@ class SortService {
   /// failing here instead of mid-sort), enqueues the job and returns a
   /// handle to it. Busy when the admission queue is full or the service
   /// is shutting down.
-  Status Submit(const SortJobSpec& spec, JobHandle* handle);
+  Status Submit(const SortJobSpec& spec, JobHandle* handle)
+      TWRS_EXCLUDES(mu_);
 
   /// Stops intake, finalizes still-queued jobs as cancelled and waits for
   /// running jobs to finish. Idempotent.
-  void Shutdown();
+  void Shutdown() TWRS_EXCLUDES(mu_);
 
-  SortServiceStats Stats() const;
+  SortServiceStats Stats() const TWRS_EXCLUDES(mu_);
   MemoryGovernorStats GovernorStats() const { return governor_.Stats(); }
 
   const SortServiceOptions& options() const { return options_; }
@@ -206,7 +207,11 @@ class SortService {
  private:
   friend class JobHandle;
 
-  void SchedulerLoop();
+  void SchedulerLoop() TWRS_EXCLUDES(mu_);
+
+  /// Scheduler wake-up predicate: stop requested, or a job can be admitted
+  /// (or finalized as cancelled) right now.
+  bool SchedulerShouldWake() const TWRS_REQUIRES(mu_);
 
   /// Runs one admitted job on the executor: plan already fixed, lease
   /// held; releases the lease and finalizes the job when done.
@@ -222,12 +227,12 @@ class SortService {
   /// Removes jobs whose token fired while still queued and finalizes
   /// them as cancelled. Called by the scheduler and, through
   /// OnJobCancelled, directly on the cancelling thread.
-  void SweepCancelledQueuedJobs();
+  void SweepCancelledQueuedJobs() TWRS_EXCLUDES(mu_);
 
   /// JobHandle::Cancel entry point: finalizes cancelled queued jobs and
   /// wakes the scheduler and the governor so a blocked admission observes
   /// the fired token promptly.
-  void OnJobCancelled();
+  void OnJobCancelled() TWRS_EXCLUDES(mu_);
 
   Env* env_;
   SortServiceOptions options_;
@@ -239,19 +244,19 @@ class SortService {
   /// service cannot reach into it.
   std::shared_ptr<internal::ServiceLink> link_;
 
-  mutable std::mutex mu_;
-  std::condition_variable scheduler_cv_;  ///< queue/capacity/stop changes
-  std::condition_variable drained_cv_;    ///< running_ reached zero
-  std::deque<std::shared_ptr<internal::SortJob>> queue_;
+  mutable Mutex mu_;
+  CondVar scheduler_cv_;  ///< queue/capacity/stop changes
+  CondVar drained_cv_;    ///< running_ reached zero
+  std::deque<std::shared_ptr<internal::SortJob>> queue_ TWRS_GUARDED_BY(mu_);
   /// Job popped by the scheduler but still waiting for its lease; Shutdown
   /// cancels it so the blocking Reserve unwinds.
-  std::shared_ptr<internal::SortJob> admitting_;
-  size_t running_ = 0;
-  bool stopping_ = false;
-  SortServiceStats stats_;
+  std::shared_ptr<internal::SortJob> admitting_ TWRS_GUARDED_BY(mu_);
+  size_t running_ TWRS_GUARDED_BY(mu_) = 0;
+  bool stopping_ TWRS_GUARDED_BY(mu_) = false;
+  SortServiceStats stats_ TWRS_GUARDED_BY(mu_);
   /// Last temp_dir that passed its submission preflight; identical
   /// directories in a burst of submissions are not re-probed.
-  std::string preflighted_temp_dir_;
+  std::string preflighted_temp_dir_ TWRS_GUARDED_BY(mu_);
 
   std::thread scheduler_;
 };

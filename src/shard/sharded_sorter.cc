@@ -97,7 +97,9 @@ Status ShardedSorter::Sort(RecordSource* source,
     CleanupScratch(staged, /*remove_staged=*/true, shard_dir);
     // An output this sort truncated is now torn and is removed; a file
     // the sort never opened is left alone.
-    if (env.watched_created()) env_->RemoveFile(output_path);
+    if (env.watched_created()) {
+      TWRS_IGNORE_STATUS(env_->RemoveFile(output_path));
+    }
   }
   return s;
 }
@@ -148,7 +150,9 @@ Status ShardedSorter::SortFile(const std::string& input_path,
   }
   if (!s.ok()) {
     CleanupScratch(input_path, /*remove_staged=*/false, shard_dir);
-    if (env.watched_created()) env_->RemoveFile(output_path);  // torn
+    if (env.watched_created()) {
+      TWRS_IGNORE_STATUS(env_->RemoveFile(output_path));  // torn
+    }
   }
   return s;
 }
@@ -319,12 +323,13 @@ void ShardedSorter::CleanupScratch(const std::string& staged_path,
                                    const std::string& shard_dir) {
   // Statuses are deliberately ignored: this runs after a failure, on files
   // that may never have existed.
-  if (remove_staged) env_->RemoveFile(staged_path);
+  if (remove_staged) TWRS_IGNORE_STATUS(env_->RemoveFile(staged_path));
   // Shard paths are deterministic, so remove them by name first: this
   // works on any Env, including ones that keep the default NotSupported
   // ListDir (where the tree removal below is a no-op).
   for (size_t i = 0; i < options_.shards; ++i) {
-    env_->RemoveFile(shard_dir + "/shard_" + std::to_string(i));
+    TWRS_IGNORE_STATUS(
+        env_->RemoveFile(shard_dir + "/shard_" + std::to_string(i)));
   }
   // The recursive removal catches what deterministic names cannot: the
   // nested sort_* scratch directory of a per-shard sort that failed

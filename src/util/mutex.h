@@ -1,0 +1,85 @@
+#ifndef TWRS_UTIL_MUTEX_H_
+#define TWRS_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace twrs {
+
+class CondVar;
+
+/// Annotated wrapper over std::mutex. Every mutex in the concurrent
+/// modules is a twrs::Mutex so Clang's thread-safety analysis can check
+/// the locking discipline (see util/thread_annotations.h); std::mutex
+/// itself cannot carry the capability attribute. Non-recursive, like the
+/// std::mutex it wraps.
+class TWRS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TWRS_ACQUIRE() { mu_.lock(); }
+  void Unlock() TWRS_RELEASE() { mu_.unlock(); }
+  bool TryLock() TWRS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex — the std::lock_guard of the annotated world.
+/// Scoped capability: the analysis knows the mutex is held from
+/// construction to the end of the enclosing block.
+class TWRS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TWRS_ACQUIRE(mu) : mu_(mu) { mu->Lock(); }
+  ~MutexLock() TWRS_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with a Mutex. Wait takes the mutex
+/// explicitly and is annotated TWRS_REQUIRES(mu), so waiting without the
+/// lock is a compile-time error under the analysis. There is no
+/// predicate-taking overload on purpose: the analysis cannot see lock
+/// state inside a predicate lambda, so callers spell the standard form
+///
+///   while (!condition) cv_.Wait(mu_);
+///
+/// which keeps every guarded read of `condition` inside the annotated
+/// function.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and reacquires `mu`
+  /// before returning. Spurious wakeups are possible, as with
+  /// std::condition_variable — always wait in a loop.
+  void Wait(Mutex& mu) TWRS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock keeps ownership
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_UTIL_MUTEX_H_

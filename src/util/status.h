@@ -12,7 +12,13 @@ namespace twrs {
 /// human-readable message. The style follows the RocksDB/LevelDB idiom:
 /// functions that can fail return Status and write results through output
 /// parameters.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping any function's Status is
+/// a compile-time diagnostic (-Wunused-result, an error under the tree's
+/// -Werror). Intentional best-effort drops — cleanup on error paths,
+/// destructors where the error is already sticky — must say so with
+/// TWRS_IGNORE_STATUS below, so every remaining bare call is a bug.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -84,6 +90,17 @@ class Status {
     ::twrs::Status _twrs_status = (expr);       \
     if (!_twrs_status.ok()) return _twrs_status; \
   } while (0)
+
+namespace internal {
+inline void IgnoreStatus(const Status&) {}
+}  // namespace internal
+
+/// Explicitly discards a Status, defeating [[nodiscard]]. Only for
+/// deliberate best-effort drops — error-path cleanup over entries that may
+/// already be gone, destructors whose error is already sticky in the
+/// object — never as a shortcut past real error handling. Grep-able, so
+/// every intentional drop in the tree can be audited.
+#define TWRS_IGNORE_STATUS(expr) ::twrs::internal::IgnoreStatus((expr))
 
 }  // namespace twrs
 

@@ -1,0 +1,86 @@
+#ifndef TWRS_UTIL_THREAD_ANNOTATIONS_H_
+#define TWRS_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Wrappers over Clang's Thread Safety Analysis attributes.
+///
+/// The annotations turn the locking discipline of the concurrent modules
+/// (exec, service, io) into compiler-checked invariants: a member declared
+/// TWRS_GUARDED_BY(mu_) may only be touched while mu_ is held, a function
+/// declared TWRS_REQUIRES(mu_) may only be called with mu_ held, and any
+/// violation is a -Wthread-safety diagnostic (an error in CI, where the
+/// static-analysis job builds with -Werror). The attributes bind to the
+/// twrs::Mutex / twrs::MutexLock / twrs::CondVar shims in util/mutex.h —
+/// raw std::mutex cannot carry capability attributes.
+///
+/// On compilers without the attributes (GCC) every macro expands to
+/// nothing, so the annotated tree stays portable; only Clang performs the
+/// analysis, and only when -Wthread-safety is on (the TWRS_THREAD_SAFETY
+/// CMake option, default ON).
+///
+/// Macro names follow the modern capability-based spelling of
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TWRS_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef TWRS_THREAD_ANNOTATION_
+#define TWRS_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (a lockable resource), e.g.
+/// class TWRS_CAPABILITY("mutex") Mutex { ... };
+#define TWRS_CAPABILITY(x) TWRS_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability (MutexLock).
+#define TWRS_SCOPED_CAPABILITY TWRS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated member may only be accessed while the given capability is
+/// held.
+#define TWRS_GUARDED_BY(x) TWRS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The data pointed to by the annotated pointer may only be accessed while
+/// the given capability is held (the pointer itself is unguarded).
+#define TWRS_PT_GUARDED_BY(x) TWRS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called while holding all the given
+/// capabilities, which it does not release.
+#define TWRS_REQUIRES(...) \
+  TWRS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function acquires the given capabilities and holds them on return.
+#define TWRS_ACQUIRE(...) \
+  TWRS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the given capabilities, which must be held on
+/// entry.
+#define TWRS_RELEASE(...) \
+  TWRS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability only when it returns the given
+/// boolean value (TryLock).
+#define TWRS_TRY_ACQUIRE(...) \
+  TWRS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the given
+/// capabilities — the annotation for functions that acquire them
+/// internally, making self-deadlock a compile-time error.
+#define TWRS_EXCLUDES(...) TWRS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime (and teaches the analysis) that the calling thread
+/// already holds the capability.
+#define TWRS_ASSERT_CAPABILITY(x) \
+  TWRS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define TWRS_RETURN_CAPABILITY(x) TWRS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Reserved for
+/// code whose safety argument the analysis cannot express (none in the
+/// tree today); every use must carry a comment saying why.
+#define TWRS_NO_THREAD_SAFETY_ANALYSIS \
+  TWRS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // TWRS_UTIL_THREAD_ANNOTATIONS_H_

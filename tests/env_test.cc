@@ -299,6 +299,35 @@ TEST(MemEnvTest, FileContentsHelper) {
   EXPECT_EQ(env.FileCount(), 1u);
 }
 
+TEST(PreflightTempDirTest, SucceedsAndRemovesProbe) {
+  MemEnv env;
+  ASSERT_TWRS_OK(PreflightTempDir(&env, "scratch"));
+  std::vector<std::string> names;
+  ASSERT_TWRS_OK(env.ListDir("scratch", &names));
+  EXPECT_TRUE(names.empty()) << "probe file left behind";
+}
+
+// A MemEnv whose unlink always fails, emulating a directory that accepts
+// creations but refuses removals (e.g. a sticky-bit dir owned by another
+// user).
+class RemoveFailingMemEnv : public MemEnv {
+ public:
+  Status RemoveFile(const std::string& path) override {
+    return Status::IOError("unlink forbidden: " + path);
+  }
+};
+
+TEST(PreflightTempDirTest, FailsWhenProbeCannotBeRemoved) {
+  // Regression: such a temp_dir used to pass the preflight (the probe's
+  // removal status was dropped), only for every later scratch cleanup to
+  // fail and fill the directory with orphaned run files.
+  RemoveFailingMemEnv env;
+  Status s = PreflightTempDir(&env, "scratch");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("not writable"), std::string::npos)
+      << s.ToString();
+}
+
 TEST(EnvTest2, DefaultEnvIsUsable) {
   Env* env = Env::Default();
   ASSERT_NE(env, nullptr);

@@ -1,0 +1,28 @@
+// Negative-compilation probe for the [[nodiscard]] Status gate.
+//
+// Compiled two ways by CTest (see tests/negative_compile/CMakeLists.txt):
+//  - without defines: the TWRS_IGNORE_STATUS path must compile (positive
+//    control, proves the probe itself is well-formed);
+//  - with -DTWRS_NEGCOMPILE_DISCARD: a bare discarded Status must be
+//    rejected under -Werror, proving the gate actually fires.
+
+#include "util/status.h"
+
+namespace {
+
+twrs::Status MightFail() { return twrs::Status::IOError("probe"); }
+
+void Caller() {
+#ifdef TWRS_NEGCOMPILE_DISCARD
+  MightFail();  // must not compile: Status is [[nodiscard]]
+#else
+  TWRS_IGNORE_STATUS(MightFail());  // the sanctioned way to drop a Status
+#endif
+}
+
+}  // namespace
+
+int main() {
+  Caller();
+  return 0;
+}

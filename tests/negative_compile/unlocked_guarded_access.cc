@@ -1,0 +1,39 @@
+// Negative-compilation probe for the thread-safety-analysis gate.
+//
+// Compiled two ways by CTest under Clang with -Wthread-safety -Werror (see
+// tests/negative_compile/CMakeLists.txt; GCC has no analysis, so the test
+// is only registered for Clang):
+//  - without defines: the locked access must compile (positive control);
+//  - with -DTWRS_NEGCOMPILE_UNLOCKED: touching a TWRS_GUARDED_BY member
+//    without holding its mutex must be rejected, proving the annotations
+//    in src/ are actually being checked and not silently macro-expanded
+//    to nothing.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+#ifdef TWRS_NEGCOMPILE_UNLOCKED
+    ++value_;  // must not compile: mu_ is not held
+#else
+    twrs::MutexLock lock(&mu_);
+    ++value_;
+#endif
+  }
+
+ private:
+  twrs::Mutex mu_;
+  int value_ TWRS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

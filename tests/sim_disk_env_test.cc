@@ -61,6 +61,18 @@ TEST(DiskModelTest, ResetClearsState) {
   EXPECT_DOUBLE_EQ(model.SimulatedSeconds(), 0.0);
 }
 
+TEST(DiskModelTest, ResetForgetsBackwardContiguity) {
+  // Regression: Reset left last_start_offset_ stale, so an access ending at
+  // the pre-Reset start offset was mistaken for a backward-contiguous
+  // (cache-absorbed) write. last_file_ is reset to a sentinel, but pinning
+  // the offsets too keeps the invariant local instead of coupled.
+  DiskModel model;
+  model.Access(7, 100, 10);
+  model.Reset();
+  model.Access(7, 90, 10);  // ends at 100 = pre-Reset start; still a seek
+  EXPECT_EQ(model.seeks(), 1u);
+}
+
 TEST(SimDiskEnvTest, ForwardsDataCorrectly) {
   MemEnv base;
   SimDiskEnv env(&base);
