@@ -2,6 +2,7 @@
 #define TWRS_BENCH_BENCH_COMMON_H_
 
 #include <stdlib.h>
+#include <time.h>
 
 #include <cstdint>
 #include <cstdio>
@@ -11,6 +12,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/build_info.h"
 
 #include "core/replacement_selection.h"
 #include "core/run_sink.h"
@@ -104,6 +107,15 @@ class JsonReporter {
     name_ = std::move(name);
   }
 
+  /// Comparison profile recorded in the report header. bench_diff.py
+  /// refuses to compare reports whose profiles differ, so runs with
+  /// non-default knobs (scale, pinned shard counts, ...) should set a
+  /// distinct profile. Defaults to the bench name.
+  void SetProfile(std::string profile) {
+    std::lock_guard<std::mutex> lock(mu_);
+    profile_ = std::move(profile);
+  }
+
   void Add(const JsonEntry& entry) {
     std::lock_guard<std::mutex> lock(mu_);
     if (path_.empty()) return;
@@ -118,11 +130,13 @@ class JsonReporter {
   std::mutex mu_;
   std::string path_;
   std::string name_ = "bench";
+  std::string profile_;  ///< empty = use name_
   std::vector<std::string> entries_;
 };
 
-/// Parses the flags shared by every standalone benchmark driver (currently
-/// `--json <path>`) and seeds the global reporter with the binary's name.
+/// Parses the flags shared by every standalone benchmark driver
+/// (`--json <path>`, `--profile <name>`) and seeds the global reporter
+/// with the binary's name.
 inline void ParseBenchArgs(int argc, char** argv) {
   if (argc > 0) {
     std::string name = argv[0];
@@ -133,6 +147,8 @@ inline void ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       JsonReporter::Global().SetPath(argv[++i]);
+    } else if (std::string(argv[i]) == "--profile" && i + 1 < argc) {
+      JsonReporter::Global().SetProfile(argv[++i]);
     }
   }
 }
@@ -146,7 +162,21 @@ inline void JsonReporter::Flush() {
             path_.c_str());
     return;
   }
-  out << "{\n  \"bench\": \"" << name_ << "\",\n  \"scale\": " << Scale()
+  // Build/run metadata, so a comparator can refuse to diff reports that
+  // were produced by different schemas, profiles or workload scales.
+  char timestamp[32] = "unknown";
+  {
+    const time_t now = time(nullptr);
+    struct tm utc;
+    if (gmtime_r(&now, &utc) != nullptr) {
+      strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    }
+  }
+  out << "{\n  \"bench\": \"" << name_ << "\",\n  \"schema_version\": "
+      << TWRS_BENCH_SCHEMA_VERSION << ",\n  \"git_sha\": \""
+      << TWRS_BUILD_GIT_SHA << "\",\n  \"profile\": \""
+      << (profile_.empty() ? name_ : profile_) << "\",\n  \"timestamp\": \""
+      << timestamp << "\",\n  \"scale\": " << Scale()
       << ",\n  \"results\": [\n";
   for (size_t i = 0; i < entries_.size(); ++i) {
     out << "    " << entries_[i] << (i + 1 < entries_.size() ? "," : "")

@@ -29,7 +29,19 @@ double Percentile(std::vector<double> values, double p) {
   return values[lo] + (values[hi] - values[lo]) * frac;
 }
 
-void Run() {
+/// Appends `prefix`_{count,mean,p50,p99}_seconds fields for one histogram
+/// of the service's registry snapshot; absent histograms add nothing.
+void AddHistogramFields(JsonEntry* entry, const MetricsSnapshot& metrics,
+                        const std::string& name, const std::string& prefix) {
+  const HistogramSummary* h = metrics.FindHistogram(name);
+  if (h == nullptr) return;
+  entry->Int(prefix + "_count", h->count)
+      .Num(prefix + "_mean_seconds", h->mean_seconds)
+      .Num(prefix + "_p50_seconds", h->p50_seconds)
+      .Num(prefix + "_p99_seconds", h->p99_seconds);
+}
+
+void Run(bool enable_metrics) {
   const std::string dir = ScratchDir();
   const uint64_t kJobs = 16;
   const uint64_t records = Scaled(200000);
@@ -66,6 +78,7 @@ void Run() {
     options.max_queue_depth = kJobs;
     options.governor.capacity_records = 2 * memory;
     options.governor.min_lease_records = memory / 8;
+    options.enable_metrics = enable_metrics;
 
     std::vector<JobHandle> handles(kJobs);
     Stopwatch wall;
@@ -136,7 +149,20 @@ void Run() {
         .Int("peak_queued", stats.peak_queued)
         .Int("peak_running", stats.peak_running)
         .Int("bytes_read", bytes_read)
-        .Int("bytes_written", bytes_written);
+        .Int("bytes_written", bytes_written)
+        .Int("metrics_enabled", enable_metrics ? 1 : 0);
+    AddHistogramFields(&entry, stats.metrics, "sort.run_generation_seconds",
+                       "run_generation");
+    AddHistogramFields(&entry, stats.metrics, "sort.final_merge_seconds",
+                       "final_merge");
+    AddHistogramFields(&entry, stats.metrics, "service.queue_seconds",
+                       "queue");
+    AddHistogramFields(&entry, stats.metrics,
+                       "governor.reserve_wait_seconds", "reserve_wait");
+    AddHistogramFields(&entry, stats.metrics, "run_sink.flush_seconds",
+                       "run_sink_flush");
+    AddHistogramFields(&entry, stats.metrics, "merge_sink.flush_seconds",
+                       "merge_sink_flush");
     JsonReporter::Global().Add(entry);
 
     for (uint64_t j = 0; j < kJobs; ++j) {
@@ -158,7 +184,14 @@ void Run() {
 
 int main(int argc, char** argv) {
   twrs::bench::ParseBenchArgs(argc, argv);
-  twrs::bench::Run();
+  bool enable_metrics = true;
+  for (int i = 1; i < argc; ++i) {
+    // A/B switch for measuring the registry's overhead: the pinned CI
+    // profile runs with metrics on, so regressions gate the instrumented
+    // path users actually run.
+    if (std::string(argv[i]) == "--no-metrics") enable_metrics = false;
+  }
+  twrs::bench::Run(enable_metrics);
   twrs::bench::JsonReporter::Global().Flush();
   return 0;
 }

@@ -21,10 +21,24 @@
 //   --seed N          workload seed base (default 1)
 //   --cancel N        cancel the last N submitted jobs mid-flight
 //   --verify          verify each completed output is sorted
+//   --status-interval MS
+//                     live mode: repaint a per-job progress table every
+//                     MS milliseconds while jobs run (ANSI repaint on a
+//                     terminal, plain appended frames otherwise)
+//   --metrics-json PATH
+//                     dump the service's full metrics registry (latency
+//                     histograms and counters) as JSON to PATH at exit
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "examples/cli_util.h"
@@ -39,11 +53,90 @@ namespace {
 int Usage() {
   fprintf(stderr,
           "usage: twrs_sortd [options]\n"
-          "run `head -30 examples/twrs_sortd.cpp` for the option list\n");
+          "run `head -40 examples/twrs_sortd.cpp` for the option list\n");
   return 2;
 }
 
 using twrs::examples::ParseCount;
+
+bool Terminal(twrs::JobState state) {
+  return state == twrs::JobState::kDone || state == twrs::JobState::kFailed ||
+         state == twrs::JobState::kCancelled;
+}
+
+double Mib(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+/// Live status mode: polls every handle until all jobs are terminal,
+/// repainting a per-job progress table each tick. Every frame — the
+/// cursor-up erase of the previous table, the permanent one-line records
+/// of newly finished jobs, and the repainted table — is assembled into
+/// one string and written by this single writer with one fwrite+fflush,
+/// so concurrent job output can never interleave inside a repaint. On a
+/// non-terminal stdout the ANSI erase is skipped and frames just append.
+void WatchJobs(const std::vector<twrs::JobHandle>& handles,
+               uint64_t interval_ms) {
+  const bool tty = isatty(fileno(stdout)) != 0;
+  std::vector<bool> reported(handles.size(), false);
+  size_t last_lines = 0;
+  for (;;) {
+    bool all_done = true;
+    std::string finished_lines;
+    twrs::TablePrinter table({"job", "phase", "state", "ingested", "merged",
+                              "MiB read", "MiB written", "done %"});
+    for (size_t j = 0; j < handles.size(); ++j) {
+      const twrs::JobState state = handles[j].state();
+      const twrs::JobProgress p = handles[j].Progress();
+      if (Terminal(state)) {
+        if (!reported[j]) {
+          reported[j] = true;
+          const twrs::SortJobStats stats = handles[j].stats();
+          finished_lines += "job " + std::to_string(j) + ": " +
+                            twrs::JobStateName(state) + " in " +
+                            twrs::TablePrinter::Num(stats.total_seconds, 3) +
+                            " s (" + std::to_string(p.records_ingested) +
+                            " records)\n";
+        }
+      } else {
+        all_done = false;
+      }
+      // Ingest and merge each touch every record once, so the two
+      // counters together advance 0 -> 2*total over the job's life.
+      const double pct =
+          p.total_records > 0
+              ? 100.0 *
+                    static_cast<double>(p.records_ingested + p.records_merged) /
+                    (2.0 * static_cast<double>(p.total_records))
+              : 0.0;
+      table.AddRow({std::to_string(j), twrs::SortProgressPhaseName(p.phase),
+                    twrs::JobStateName(state),
+                    std::to_string(p.records_ingested),
+                    std::to_string(p.records_merged),
+                    twrs::TablePrinter::Num(Mib(p.bytes_read), 1),
+                    twrs::TablePrinter::Num(Mib(p.bytes_written), 1),
+                    twrs::TablePrinter::Num(pct, 1)});
+    }
+    std::ostringstream body;
+    table.Print(body);
+    const std::string rendered = body.str();
+    const size_t lines =
+        static_cast<size_t>(std::count(rendered.begin(), rendered.end(), '\n'));
+
+    std::string frame;
+    if (tty && last_lines > 0) {
+      frame += "\033[" + std::to_string(last_lines) + "A\033[J";
+    }
+    frame += finished_lines;
+    frame += rendered;
+    fwrite(frame.data(), 1, frame.size(), stdout);
+    fflush(stdout);
+    last_lines = lines;
+
+    if (all_done) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
 
 }  // namespace
 
@@ -61,6 +154,8 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   uint64_t cancel_last = 0;
   bool verify = false;
+  uint64_t status_interval_ms = 0;
+  std::string metrics_json;
   std::string temp_dir = "/tmp/twrs_sortd";
 
   for (int i = 1; i < argc; ++i) {
@@ -110,6 +205,15 @@ int main(int argc, char** argv) {
       if (!ParseCount(next(), &cancel_last)) return Usage();
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--status-interval") {
+      if (!ParseCount(next(), &status_interval_ms) ||
+          status_interval_ms == 0) {
+        return Usage();
+      }
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      metrics_json = v;
     } else {
       fprintf(stderr, "unknown option %s\n", arg.c_str());
       return Usage();
@@ -189,6 +293,11 @@ int main(int argc, char** argv) {
     for (uint64_t j = jobs - std::min(cancel_last, jobs); j < jobs; ++j) {
       handles[j].Cancel();
     }
+    if (status_interval_ms > 0) {
+      // Live mode: poll and repaint until every job is terminal. The
+      // handles' terminal states make the Waits below immediate.
+      WatchJobs(handles, status_interval_ms);
+    }
     for (uint64_t j = 0; j < jobs; ++j) {
       // Per-job outcomes are reported from the stats table below, where a
       // failed or cancelled job shows up in its `state` column.
@@ -232,6 +341,16 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(governor.total_leases),
            static_cast<unsigned long long>(governor.shrunk_leases),
            static_cast<unsigned long long>(governor.downsized_leases));
+    if (!metrics_json.empty() && service.metrics() != nullptr) {
+      std::ofstream out(metrics_json);
+      if (out) {
+        out << service.metrics()->ToJson() << "\n";
+        printf("metrics registry dumped to %s\n", metrics_json.c_str());
+      } else {
+        fprintf(stderr, "twrs_sortd: cannot write metrics to %s\n",
+                metrics_json.c_str());
+      }
+    }
   }
 
   int rc = 0;

@@ -116,6 +116,10 @@ struct FileRunSinkOptions {
 
   /// Size of each half of the async double buffer.
   size_t async_buffer_bytes = kDefaultAsyncBufferBytes;
+
+  /// When non-null (and `pool` is set), every background flush of a
+  /// forward run stream records its wall time here. Must outlive the sink.
+  LatencyHistogram* flush_histogram = nullptr;
 };
 
 /// Writes runs to files under `dir` with the given name prefix. Forward

@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/latency_histogram.h"
+#include "util/stopwatch.h"
+
 namespace twrs {
+
+namespace {
+
+/// Runs `fn`, recording its wall time into `histogram` when non-null.
+template <typename Fn>
+Status TimedIo(LatencyHistogram* histogram, Fn&& fn) {
+  if (histogram == nullptr) return fn();
+  Stopwatch watch;
+  Status s = fn();
+  histogram->RecordSeconds(watch.ElapsedSeconds());
+  return s;
+}
+
+}  // namespace
 
 // --------------------------------------------------------- AsyncWritableFile
 
@@ -41,7 +58,11 @@ Status AsyncWritableFile::RotateAndFlush() {
   // tasks would make the next rotation wait (run it inline) and forfeit
   // the write overlap this decorator exists for.
   pending_ = pool_->Submit(
-      [this] { return base_->Append(inflight_.data(), inflight_used_); },
+      [this] {
+        return TimedIo(flush_histogram_, [this] {
+          return base_->Append(inflight_.data(), inflight_used_);
+        });
+      },
       TaskPriority::kHigh);
   return Status::OK();
 }
@@ -53,7 +74,8 @@ Status AsyncWritableFile::Append(const void* data, size_t n) {
     return status_;
   }
   if (pool_ == nullptr) {
-    status_ = base_->Append(data, n);
+    status_ =
+        TimedIo(flush_histogram_, [&] { return base_->Append(data, n); });
     return status_;
   }
   const uint8_t* p = static_cast<const uint8_t*>(data);
@@ -80,7 +102,9 @@ Status AsyncWritableFile::Close() {
   closed_ = true;
   TWRS_IGNORE_STATUS(WaitForInflight());  // folded into status_ below
   if (status_.ok() && active_used_ > 0) {
-    status_ = base_->Append(active_.data(), active_used_);
+    status_ = TimedIo(flush_histogram_, [this] {
+      return base_->Append(active_.data(), active_used_);
+    });
     active_used_ = 0;
   }
   Status close_status = base_->Close();
@@ -177,16 +201,17 @@ Status PrefetchingSequentialFile::Skip(uint64_t n) {
 Status MakeAsyncRecordWriter(Env* env, const std::string& path,
                              size_t block_bytes, ThreadPool* pool,
                              size_t async_buffer_bytes,
-                             std::unique_ptr<RecordWriter>* out) {
+                             std::unique_ptr<RecordWriter>* out,
+                             LatencyHistogram* flush_histogram) {
   if (pool == nullptr) {
     *out = std::make_unique<RecordWriter>(env, path, block_bytes);
   } else {
     std::unique_ptr<WritableFile> file;
     TWRS_RETURN_IF_ERROR(env->NewWritableFile(path, &file));
-    *out = std::make_unique<RecordWriter>(
-        std::make_unique<AsyncWritableFile>(std::move(file), pool,
-                                            async_buffer_bytes),
-        block_bytes);
+    auto async = std::make_unique<AsyncWritableFile>(std::move(file), pool,
+                                                     async_buffer_bytes);
+    async->set_flush_histogram(flush_histogram);
+    *out = std::make_unique<RecordWriter>(std::move(async), block_bytes);
   }
   return (*out)->status();
 }

@@ -14,6 +14,8 @@
 
 namespace twrs {
 
+class LatencyHistogram;
+
 /// Default size of each half of AsyncWritableFile's double buffer.
 inline constexpr size_t kDefaultAsyncBufferBytes = 256 * 1024;
 
@@ -41,6 +43,14 @@ class AsyncWritableFile : public WritableFile {
   Status Append(const void* data, size_t n) override;
   Status Close() override;
 
+  /// Records the wall time of every flush to the wrapped file (background
+  /// buffer flushes, or each Append in synchronous pass-through mode) into
+  /// `histogram`, which must outlive this file. Null (the default)
+  /// disables timing entirely. Set before the first Append.
+  void set_flush_histogram(LatencyHistogram* histogram) {
+    flush_histogram_ = histogram;
+  }
+
  private:
   /// Waits for the in-flight flush (if any) and folds its Status into
   /// `status_`.
@@ -57,6 +67,7 @@ class AsyncWritableFile : public WritableFile {
   size_t inflight_used_ = 0;
   TaskHandle pending_;
   Status status_;
+  LatencyHistogram* flush_histogram_ = nullptr;
   bool closed_ = false;
 };
 
@@ -114,10 +125,13 @@ class PrefetchingSequentialFile : public SequentialFile {
 /// writing through an AsyncWritableFile on `pool` — or synchronously when
 /// `pool` is null. The single construction point for every record stream
 /// that can be background-flushed (run sink streams, merge outputs).
+/// A non-null `flush_histogram` records the wall time of every background
+/// flush (pool mode only); it must outlive the writer.
 Status MakeAsyncRecordWriter(Env* env, const std::string& path,
                              size_t block_bytes, ThreadPool* pool,
                              size_t async_buffer_bytes,
-                             std::unique_ptr<RecordWriter>* out);
+                             std::unique_ptr<RecordWriter>* out,
+                             LatencyHistogram* flush_histogram = nullptr);
 
 }  // namespace twrs
 

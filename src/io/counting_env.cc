@@ -6,15 +6,26 @@ namespace twrs {
 
 namespace {
 
+/// Primary counter plus an optional mirror (the live-progress feed); both
+/// bump with relaxed ordering on every counted transfer.
+struct ByteCounter {
+  std::atomic<uint64_t>* primary;
+  std::atomic<uint64_t>* mirror;  // may be null
+
+  void Add(uint64_t n) const {
+    primary->fetch_add(n, std::memory_order_relaxed);
+    if (mirror != nullptr) mirror->fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
 class CountingWritableFile : public WritableFile {
  public:
-  CountingWritableFile(std::unique_ptr<WritableFile> base,
-                       std::atomic<uint64_t>* counter)
+  CountingWritableFile(std::unique_ptr<WritableFile> base, ByteCounter counter)
       : base_(std::move(base)), counter_(counter) {}
 
   Status Append(const void* data, size_t n) override {
     TWRS_RETURN_IF_ERROR(base_->Append(data, n));
-    counter_->fetch_add(n, std::memory_order_relaxed);
+    counter_.Add(n);
     return Status::OK();
   }
 
@@ -22,18 +33,18 @@ class CountingWritableFile : public WritableFile {
 
  private:
   std::unique_ptr<WritableFile> base_;
-  std::atomic<uint64_t>* counter_;
+  ByteCounter counter_;
 };
 
 class CountingSequentialFile : public SequentialFile {
  public:
   CountingSequentialFile(std::unique_ptr<SequentialFile> base,
-                         std::atomic<uint64_t>* counter)
+                         ByteCounter counter)
       : base_(std::move(base)), counter_(counter) {}
 
   Status Read(void* out, size_t n, size_t* bytes_read) override {
     TWRS_RETURN_IF_ERROR(base_->Read(out, n, bytes_read));
-    counter_->fetch_add(*bytes_read, std::memory_order_relaxed);
+    counter_.Add(*bytes_read);
     return Status::OK();
   }
 
@@ -41,28 +52,27 @@ class CountingSequentialFile : public SequentialFile {
 
  private:
   std::unique_ptr<SequentialFile> base_;
-  std::atomic<uint64_t>* counter_;
+  ByteCounter counter_;
 };
 
 class CountingRandomRWFile : public RandomRWFile {
  public:
   CountingRandomRWFile(std::unique_ptr<RandomRWFile> base,
-                       std::atomic<uint64_t>* read_counter,
-                       std::atomic<uint64_t>* write_counter)
+                       ByteCounter read_counter, ByteCounter write_counter)
       : base_(std::move(base)),
         read_counter_(read_counter),
         write_counter_(write_counter) {}
 
   Status WriteAt(uint64_t offset, const void* data, size_t n) override {
     TWRS_RETURN_IF_ERROR(base_->WriteAt(offset, data, n));
-    write_counter_->fetch_add(n, std::memory_order_relaxed);
+    write_counter_.Add(n);
     return Status::OK();
   }
 
   Status ReadAt(uint64_t offset, void* out, size_t n) override {
     // ReadAt reads exactly n bytes or fails, so a success counts all of n.
     TWRS_RETURN_IF_ERROR(base_->ReadAt(offset, out, n));
-    read_counter_->fetch_add(n, std::memory_order_relaxed);
+    read_counter_.Add(n);
     return Status::OK();
   }
 
@@ -70,8 +80,8 @@ class CountingRandomRWFile : public RandomRWFile {
 
  private:
   std::unique_ptr<RandomRWFile> base_;
-  std::atomic<uint64_t>* read_counter_;
-  std::atomic<uint64_t>* write_counter_;
+  ByteCounter read_counter_;
+  ByteCounter write_counter_;
 };
 
 }  // namespace
@@ -83,8 +93,8 @@ Status CountingEnv::NewWritableFile(const std::string& path,
   if (!watched_path_.empty() && path == watched_path_) {
     watched_created_.store(true, std::memory_order_relaxed);
   }
-  *out = std::make_unique<CountingWritableFile>(std::move(file),
-                                                &bytes_written_);
+  *out = std::make_unique<CountingWritableFile>(
+      std::move(file), ByteCounter{&bytes_written_, write_mirror_});
   return Status::OK();
 }
 
@@ -92,8 +102,8 @@ Status CountingEnv::NewSequentialFile(const std::string& path,
                                       std::unique_ptr<SequentialFile>* out) {
   std::unique_ptr<SequentialFile> file;
   TWRS_RETURN_IF_ERROR(base_->NewSequentialFile(path, &file));
-  *out = std::make_unique<CountingSequentialFile>(std::move(file),
-                                                  &bytes_read_);
+  *out = std::make_unique<CountingSequentialFile>(
+      std::move(file), ByteCounter{&bytes_read_, read_mirror_});
   return Status::OK();
 }
 
@@ -104,8 +114,9 @@ Status CountingEnv::NewRandomRWFile(const std::string& path,
   if (!watched_path_.empty() && path == watched_path_) {
     watched_created_.store(true, std::memory_order_relaxed);
   }
-  *out = std::make_unique<CountingRandomRWFile>(std::move(file), &bytes_read_,
-                                                &bytes_written_);
+  *out = std::make_unique<CountingRandomRWFile>(
+      std::move(file), ByteCounter{&bytes_read_, read_mirror_},
+      ByteCounter{&bytes_written_, write_mirror_});
   return Status::OK();
 }
 
@@ -113,8 +124,9 @@ Status CountingEnv::ReopenRandomRWFile(const std::string& path,
                                        std::unique_ptr<RandomRWFile>* out) {
   std::unique_ptr<RandomRWFile> file;
   TWRS_RETURN_IF_ERROR(base_->ReopenRandomRWFile(path, &file));
-  *out = std::make_unique<CountingRandomRWFile>(std::move(file), &bytes_read_,
-                                                &bytes_written_);
+  *out = std::make_unique<CountingRandomRWFile>(
+      std::move(file), ByteCounter{&bytes_read_, read_mirror_},
+      ByteCounter{&bytes_written_, write_mirror_});
   return Status::OK();
 }
 
@@ -122,8 +134,9 @@ Status CountingEnv::NewRandomReadFile(const std::string& path,
                                       std::unique_ptr<RandomRWFile>* out) {
   std::unique_ptr<RandomRWFile> file;
   TWRS_RETURN_IF_ERROR(base_->NewRandomReadFile(path, &file));
-  *out = std::make_unique<CountingRandomRWFile>(std::move(file), &bytes_read_,
-                                                &bytes_written_);
+  *out = std::make_unique<CountingRandomRWFile>(
+      std::move(file), ByteCounter{&bytes_read_, read_mirror_},
+      ByteCounter{&bytes_written_, write_mirror_});
   return Status::OK();
 }
 

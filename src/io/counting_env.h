@@ -35,6 +35,18 @@ class CountingEnv : public Env {
     return bytes_written_.load(std::memory_order_relaxed);
   }
 
+  /// Mirrors every byte counted by this Env into a second pair of atomic
+  /// counters (either may be null). The service layer points these at a
+  /// job's live ProgressCounters so status pollers see I/O volume while
+  /// the sort is still running, without a second decorator layer. Set
+  /// before the operation starts; not re-entrant. The mirror counters
+  /// must outlive every handle opened through this Env.
+  void MirrorBytesTo(std::atomic<uint64_t>* read_mirror,
+                     std::atomic<uint64_t>* write_mirror) {
+    read_mirror_ = read_mirror;
+    write_mirror_ = write_mirror;
+  }
+
   /// Watches one path: watched_created() turns true once a truncating
   /// create (NewWritableFile/NewRandomRWFile) opens it through this Env.
   /// The sorters watch their output path so error-path cleanup can tell a
@@ -69,6 +81,8 @@ class CountingEnv : public Env {
   Env* base_;
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t>* read_mirror_ = nullptr;
+  std::atomic<uint64_t>* write_mirror_ = nullptr;
   std::string watched_path_;
   /// Atomic: parallel leaf merges create files from pool threads.
   std::atomic<bool> watched_created_{false};

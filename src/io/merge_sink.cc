@@ -4,7 +4,23 @@
 #include <cstring>
 #include <utility>
 
+#include "util/stopwatch.h"
+
 namespace twrs {
+
+namespace {
+
+/// Runs `fn`, recording its wall time into `histogram` when non-null.
+template <typename Fn>
+Status TimedFlush(LatencyHistogram* histogram, Fn&& fn) {
+  if (histogram == nullptr) return fn();
+  Stopwatch watch;
+  Status s = fn();
+  histogram->RecordSeconds(watch.ElapsedSeconds());
+  return s;
+}
+
+}  // namespace
 
 // ----------------------------------------------------------- AppendMergeSink
 
@@ -14,7 +30,8 @@ Status AppendMergeSink::Write(const void* data, size_t n) {
     status_ = Status::InvalidArgument("Write on finished AppendMergeSink");
     return status_;
   }
-  status_ = file_->Append(data, n);
+  status_ =
+      TimedFlush(flush_histogram_, [&] { return file_->Append(data, n); });
   if (status_.ok()) bytes_written_ += n;
   return status_;
 }
@@ -29,14 +46,20 @@ Status AppendMergeSink::Finish() {
 
 Status MakeAppendMergeSink(Env* env, const std::string& path, ThreadPool* pool,
                            size_t async_buffer_bytes,
-                           std::unique_ptr<MergeSink>* out) {
+                           std::unique_ptr<MergeSink>* out,
+                           LatencyHistogram* flush_histogram) {
   std::unique_ptr<WritableFile> file;
   TWRS_RETURN_IF_ERROR(env->NewWritableFile(path, &file));
   if (pool != nullptr) {
-    file = std::make_unique<AsyncWritableFile>(std::move(file), pool,
-                                               async_buffer_bytes);
+    // Time the background flushes, not the sink's memcpy-into-buffer
+    // Appends: the histogram should see real write I/O.
+    auto async = std::make_unique<AsyncWritableFile>(std::move(file), pool,
+                                                     async_buffer_bytes);
+    async->set_flush_histogram(flush_histogram);
+    *out = std::make_unique<AppendMergeSink>(std::move(async));
+    return Status::OK();
   }
-  *out = std::make_unique<AppendMergeSink>(std::move(file));
+  *out = std::make_unique<AppendMergeSink>(std::move(file), flush_histogram);
   return Status::OK();
 }
 
@@ -44,11 +67,13 @@ Status MakeAppendMergeSink(Env* env, const std::string& path, ThreadPool* pool,
 
 RangeMergeSink::RangeMergeSink(std::unique_ptr<RandomRWFile> file,
                                uint64_t offset, uint64_t length,
-                               ThreadPool* pool, size_t buffer_bytes)
+                               ThreadPool* pool, size_t buffer_bytes,
+                               LatencyHistogram* flush_histogram)
     : file_(std::move(file)),
       offset_(offset),
       length_(length),
       pool_(pool),
+      flush_histogram_(flush_histogram),
       flush_pos_(offset) {
   if (pool_ != nullptr) {
     const size_t n = std::max<size_t>(1, buffer_bytes);
@@ -86,8 +111,11 @@ Status RangeMergeSink::RotateAndFlush() {
   // long-running tasks would stall the next rotation and forfeit the
   // write overlap.
   pending_ = pool_->Submit(
-      [this, pos] { return file_->WriteAt(pos, inflight_.data(),
-                                          inflight_used_); },
+      [this, pos] {
+        return TimedFlush(flush_histogram_, [this, pos] {
+          return file_->WriteAt(pos, inflight_.data(), inflight_used_);
+        });
+      },
       TaskPriority::kHigh);
   return Status::OK();
 }
@@ -105,7 +133,9 @@ Status RangeMergeSink::Write(const void* data, size_t n) {
     return status_;
   }
   if (pool_ == nullptr) {
-    status_ = file_->WriteAt(offset_ + bytes_written_, data, n);
+    status_ = TimedFlush(flush_histogram_, [&] {
+      return file_->WriteAt(offset_ + bytes_written_, data, n);
+    });
     if (status_.ok()) bytes_written_ += n;
     return status_;
   }
@@ -134,7 +164,9 @@ Status RangeMergeSink::Finish() {
   finished_ = true;
   TWRS_IGNORE_STATUS(WaitForInflight());  // folded into status_ below
   if (status_.ok() && active_used_ > 0) {
-    status_ = file_->WriteAt(flush_pos_, active_.data(), active_used_);
+    status_ = TimedFlush(flush_histogram_, [this] {
+      return file_->WriteAt(flush_pos_, active_.data(), active_used_);
+    });
     flush_pos_ += active_used_;
     active_used_ = 0;
   }
@@ -152,12 +184,12 @@ Status RangeMergeSink::Finish() {
 
 Status MakeRangeMergeSink(Env* env, const std::string& path, uint64_t offset,
                           uint64_t length, ThreadPool* pool,
-                          size_t buffer_bytes,
-                          std::unique_ptr<MergeSink>* out) {
+                          size_t buffer_bytes, std::unique_ptr<MergeSink>* out,
+                          LatencyHistogram* flush_histogram) {
   std::unique_ptr<RandomRWFile> file;
   TWRS_RETURN_IF_ERROR(env->ReopenRandomRWFile(path, &file));
   *out = std::make_unique<RangeMergeSink>(std::move(file), offset, length,
-                                          pool, buffer_bytes);
+                                          pool, buffer_bytes, flush_histogram);
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #include "exec/async_io.h"
 #include "exec/thread_pool.h"
 #include "io/env.h"
+#include "obs/latency_histogram.h"
 #include "util/status.h"
 
 namespace twrs {
@@ -43,9 +44,13 @@ class MergeSink {
 /// I/O overlaps loser-tree work (see MakeAppendMergeSink).
 class AppendMergeSink : public MergeSink {
  public:
-  /// Takes ownership of `file`.
-  explicit AppendMergeSink(std::unique_ptr<WritableFile> file)
-      : file_(std::move(file)) {}
+  /// Takes ownership of `file`. When `flush_histogram` is non-null, the
+  /// wall time of every Append to `file` is recorded into it — meaningful
+  /// when `file` writes synchronously; when `file` is an AsyncWritableFile
+  /// attach the histogram there instead (Append here is just a memcpy).
+  explicit AppendMergeSink(std::unique_ptr<WritableFile> file,
+                           LatencyHistogram* flush_histogram = nullptr)
+      : file_(std::move(file)), flush_histogram_(flush_histogram) {}
 
   ~AppendMergeSink() override {
     // Destruction is the unchecked path; Finish() is the checked one and
@@ -59,6 +64,7 @@ class AppendMergeSink : public MergeSink {
 
  private:
   std::unique_ptr<WritableFile> file_;
+  LatencyHistogram* flush_histogram_;
   uint64_t bytes_written_ = 0;
   Status status_;
   bool finished_ = false;
@@ -66,10 +72,14 @@ class AppendMergeSink : public MergeSink {
 
 /// Creates `path` (truncating) and returns an AppendMergeSink over it,
 /// writing through a double-buffered AsyncWritableFile flushed on `pool` —
-/// or synchronously when `pool` is null.
+/// or synchronously when `pool` is null. A non-null `flush_histogram`
+/// records the wall time of every flush that actually reaches the file
+/// (background flushes with a pool, synchronous appends without); it must
+/// outlive the sink.
 Status MakeAppendMergeSink(Env* env, const std::string& path, ThreadPool* pool,
                            size_t async_buffer_bytes,
-                           std::unique_ptr<MergeSink>* out);
+                           std::unique_ptr<MergeSink>* out,
+                           LatencyHistogram* flush_histogram = nullptr);
 
 /// MergeSink that fills the caller-assigned byte range
 /// [offset, offset + length) of a shared output file through
@@ -91,9 +101,13 @@ class RangeMergeSink : public MergeSink {
   /// Takes ownership of `file` (a handle positioned writes go through;
   /// opened without truncation when the file is shared). `pool` (if
   /// non-null) must outlive the sink.
+  /// A non-null `flush_histogram` records the wall time of every
+  /// positioned write to `file` (synchronous and background); it must
+  /// outlive the sink.
   RangeMergeSink(std::unique_ptr<RandomRWFile> file, uint64_t offset,
                  uint64_t length, ThreadPool* pool = nullptr,
-                 size_t buffer_bytes = kDefaultAsyncBufferBytes);
+                 size_t buffer_bytes = kDefaultAsyncBufferBytes,
+                 LatencyHistogram* flush_histogram = nullptr);
 
   /// Abandons unflushed bytes (error-path unwinding); waits for any
   /// in-flight flush and closes the handle. Call Finish for the checked
@@ -120,6 +134,7 @@ class RangeMergeSink : public MergeSink {
   const uint64_t offset_;
   const uint64_t length_;
   ThreadPool* pool_;
+  LatencyHistogram* flush_histogram_;
   std::vector<uint8_t> active_;
   std::vector<uint8_t> inflight_;
   size_t active_used_ = 0;
@@ -137,8 +152,8 @@ class RangeMergeSink : public MergeSink {
 /// writer starts).
 Status MakeRangeMergeSink(Env* env, const std::string& path, uint64_t offset,
                           uint64_t length, ThreadPool* pool,
-                          size_t buffer_bytes,
-                          std::unique_ptr<MergeSink>* out);
+                          size_t buffer_bytes, std::unique_ptr<MergeSink>* out,
+                          LatencyHistogram* flush_histogram = nullptr);
 
 /// WritableFile adapter over a borrowed MergeSink, so block-buffered record
 /// writers (RecordWriter) can emit through any sink. Close finishes the

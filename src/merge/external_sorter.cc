@@ -113,6 +113,10 @@ Status ExternalSorter::SortInternal(RecordSource* source,
   // only ever reopened, so the watch never fires).
   CountingEnv env(env_);
   env.WatchPath(output_path);
+  if (options_.progress != nullptr && options_.progress_bytes) {
+    env.MirrorBytesTo(options_.progress->bytes_read_counter(),
+                      options_.progress->bytes_written_counter());
+  }
   SortContext context;
   TWRS_RETURN_IF_ERROR(PrepareSortContext(&env, options_, &context));
   context.output_range = range;

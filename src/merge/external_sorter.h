@@ -13,6 +13,8 @@
 #include "exec/thread_pool.h"
 #include "io/env.h"
 #include "merge/merge_plan.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "util/cancel.h"
 #include "util/checksum.h"
 #include "util/status.h"
@@ -115,6 +117,26 @@ struct ExternalSortOptions {
   /// lease mid-flight so queued jobs admit sooner. May be called from a
   /// pool thread; must be cheap and thread-safe.
   std::function<void(size_t merge_memory_records)> on_merge_begin;
+
+  /// Live progress counters shared with the submitting layer. When
+  /// non-null, run generation adds every ingested record, every merge
+  /// pass adds its emitted records, the current phase advances as the
+  /// pipeline moves, and (when progress_bytes is also true) the sorter's
+  /// CountingEnv mirrors bytes read/written. Must outlive the sort.
+  ProgressCounters* progress = nullptr;
+
+  /// Mirror engine I/O bytes into `progress`. The sharded sorter turns
+  /// this off for its per-shard sub-sorts: its own outer CountingEnv
+  /// already mirrors every byte of every pass, and a second decorator
+  /// layer would double-count.
+  bool progress_bytes = true;
+
+  /// Metrics registry receiving the per-phase latency histograms
+  /// (sort.run_generation_seconds, sort.merge_planning_seconds,
+  /// sort.final_merge_seconds) and the run/merge sink flush timings
+  /// (run_sink.flush_seconds, merge_sink.flush_seconds). Null disables
+  /// all histogram recording. Must outlive the sort.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Records the merge phase of a sort configured by `options` actually

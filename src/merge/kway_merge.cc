@@ -89,21 +89,57 @@ Status RunCursor::Advance() {
   }
 }
 
+namespace {
+
+/// Batches progress increments so the merge loop pays one local add per
+/// record and one atomic add per kBatch; the destructor flushes the
+/// remainder on every exit path (success, cancel, error unwind).
+class BatchedMergeProgress {
+ public:
+  static constexpr uint64_t kBatch = 1024;
+
+  explicit BatchedMergeProgress(ProgressCounters* progress)
+      : progress_(progress) {}
+
+  ~BatchedMergeProgress() {
+    if (progress_ != nullptr && pending_ > 0) {
+      progress_->AddRecordsMerged(pending_);
+    }
+  }
+
+  void Tick() {
+    if (progress_ == nullptr) return;
+    if (++pending_ == kBatch) {
+      progress_->AddRecordsMerged(kBatch);
+      pending_ = 0;
+    }
+  }
+
+ private:
+  ProgressCounters* progress_;
+  uint64_t pending_ = 0;
+};
+
+}  // namespace
+
 Status MergeRunCursors(std::vector<std::unique_ptr<RunCursor>>* cursors,
                        const CancelToken* cancel,
-                       const std::function<Status(Key)>& emit) {
+                       const std::function<Status(Key)>& emit,
+                       ProgressCounters* progress) {
   const size_t k = cursors->size();
   LoserTree tree(k);
   for (size_t i = 0; i < k; ++i) {
     if ((*cursors)[i]->valid()) tree.SetInitial(i, (*cursors)[i]->key());
   }
   tree.Build();
+  BatchedMergeProgress batched(progress);
   while (!tree.Exhausted()) {
     if (IsCancelled(cancel)) {
       return Status::Cancelled("merge cancelled");
     }
     const size_t w = tree.WinnerIndex();
     TWRS_RETURN_IF_ERROR(emit(tree.WinnerKey()));
+    batched.Tick();
     TWRS_RETURN_IF_ERROR((*cursors)[w]->Next());
     if ((*cursors)[w]->valid()) {
       tree.ReplaceWinner((*cursors)[w]->key());
@@ -124,7 +160,7 @@ Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
                                                   io.prefetch_blocks));
     TWRS_RETURN_IF_ERROR(cursors.back()->Init());
   }
-  return MergeRunCursors(&cursors, io.cancel, emit);
+  return MergeRunCursors(&cursors, io.cancel, emit, io.progress);
 }
 
 Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
@@ -171,7 +207,8 @@ Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
                        const std::string& output_path, RunInfo* out) {
   std::unique_ptr<MergeSink> sink;
   TWRS_RETURN_IF_ERROR(MakeAppendMergeSink(env, output_path, io.pool,
-                                           io.async_buffer_bytes, &sink));
+                                           io.async_buffer_bytes, &sink,
+                                           io.flush_histogram));
   TWRS_RETURN_IF_ERROR(KWayMergeToSink(env, runs, io, sink.get(), out));
   if (out != nullptr) out->segments[0].path = output_path;
   return Status::OK();

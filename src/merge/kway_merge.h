@@ -14,6 +14,7 @@
 #include "io/merge_sink.h"
 #include "io/record_io.h"
 #include "io/reverse_run_file.h"
+#include "obs/progress.h"
 #include "util/cancel.h"
 #include "util/status.h"
 
@@ -39,6 +40,16 @@ struct MergeIoOptions {
   /// token every record and unwinds with Status::Cancelled once it fires.
   /// Must outlive the merge.
   const CancelToken* cancel = nullptr;
+
+  /// Live progress: when non-null, the merge loop adds every emitted
+  /// record (in batches, to keep the hot path cheap) to
+  /// `progress->AddRecordsMerged`. Must outlive the merge.
+  ProgressCounters* progress = nullptr;
+
+  /// When non-null, the wall time of every flush of the merge output is
+  /// recorded here (see MakeAppendMergeSink/RangeMergeSink). Must outlive
+  /// the merge.
+  LatencyHistogram* flush_histogram = nullptr;
 };
 
 /// Streaming cursor over one generated run: iterates its segments in order,
@@ -92,10 +103,13 @@ class RunCursor {
 /// Runs the loser tree over already-initialized cursors, emitting the
 /// merged non-decreasing key stream. The shared core of KWayMerge and the
 /// partitioned final merge's ranged partial merges. Polls `cancel` (when
-/// non-null) every record.
+/// non-null) every record. A non-null `progress` receives every emitted
+/// record via AddRecordsMerged, batched so the per-record cost is a local
+/// increment; the remainder is flushed on every exit path.
 Status MergeRunCursors(std::vector<std::unique_ptr<RunCursor>>* cursors,
                        const CancelToken* cancel,
-                       const std::function<Status(Key)>& emit);
+                       const std::function<Status(Key)>& emit,
+                       ProgressCounters* progress = nullptr);
 
 /// Merges `runs` into a single non-decreasing stream delivered to `emit`
 /// (§2.1.2, k-way merge over a loser tree). `io.block_bytes` is the read

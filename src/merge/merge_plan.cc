@@ -37,6 +37,8 @@ Status MergeRuns(Env* env, std::vector<RunInfo> runs,
   io.prefetch_blocks = options.prefetch_blocks;
   io.pool = options.pool;
   io.cancel = options.cancel;
+  io.progress = options.progress;
+  io.flush_histogram = options.flush_histogram;
 
   if (queue.empty()) {
     if (options.output_range.positioned) {

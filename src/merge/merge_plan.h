@@ -10,6 +10,8 @@
 #include "io/env.h"
 #include "io/record_io.h"
 #include "merge/partitioned_merge.h"
+#include "obs/latency_histogram.h"
+#include "obs/progress.h"
 #include "util/cancel.h"
 #include "util/status.h"
 
@@ -69,6 +71,14 @@ struct MergeOptions {
   /// range of the *existing* output without truncating it — how each
   /// shard's merge lands directly in the sharded sorter's shared output.
   MergeOutputRange output_range;
+
+  /// Live progress: every record emitted by any merge pass is added (in
+  /// batches) to `progress->AddRecordsMerged`. Must outlive the merge.
+  ProgressCounters* progress = nullptr;
+
+  /// When non-null, every flush of a merge output file records its wall
+  /// time here. Must outlive the merge.
+  LatencyHistogram* flush_histogram = nullptr;
 };
 
 /// Merge-phase statistics.

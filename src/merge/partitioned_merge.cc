@@ -126,7 +126,8 @@ Status MergePartition(Env* env, const std::vector<RunInfo>& runs,
   RecordWriter writer(std::make_unique<MergeSinkFile>(sink), io.block_bytes);
   TWRS_RETURN_IF_ERROR(writer.status());
   TWRS_RETURN_IF_ERROR(MergeRunCursors(
-      &cursors, io.cancel, [&](Key key) { return writer.Append(key); }));
+      &cursors, io.cancel, [&](Key key) { return writer.Append(key); },
+      io.progress));
   return writer.Finish();
 }
 
@@ -273,7 +274,8 @@ Status FinalMergeToOutput(Env* env, const std::vector<RunInfo>& runs,
     TWRS_RETURN_IF_ERROR(MakeRangeMergeSink(env, output_path,
                                             spec.range.offset,
                                             spec.range.length, io.pool,
-                                            io.async_buffer_bytes, &sink));
+                                            io.async_buffer_bytes, &sink,
+                                            io.flush_histogram));
     TWRS_RETURN_IF_ERROR(KWayMergeToSink(env, runs, io, sink.get(), out));
     if (out != nullptr) out->segments[0].path = output_path;
     return Status::OK();
@@ -344,7 +346,7 @@ Status FinalMergeToOutput(Env* env, const std::vector<RunInfo>& runs,
           std::unique_ptr<MergeSink> sink;
           TWRS_RETURN_IF_ERROR(MakeRangeMergeSink(
               env, output_path, partition_offset, length, io.pool,
-              io.async_buffer_bytes, &sink));
+              io.async_buffer_bytes, &sink, io.flush_histogram));
           return MergePartition(env, runs, *partition_slices, io, sink.get());
         }));
   }

@@ -69,6 +69,35 @@ class CancellableSink : public RunSink {
   const CancelToken* cancel_;
 };
 
+/// Counts the records run generation actually consumes, batched so the
+/// per-record cost is a local increment; the destructor flushes the
+/// remainder on every exit path (EOF, cancel truncation, error unwind).
+class ProgressSource : public RecordSource {
+ public:
+  static constexpr uint64_t kBatch = 1024;
+
+  ProgressSource(RecordSource* base, ProgressCounters* progress)
+      : base_(base), progress_(progress) {}
+
+  ~ProgressSource() override {
+    if (pending_ > 0) progress_->AddRecordsIngested(pending_);
+  }
+
+  bool Next(Key* key) override {
+    if (!base_->Next(key)) return false;
+    if (++pending_ == kBatch) {
+      progress_->AddRecordsIngested(kBatch);
+      pending_ = 0;
+    }
+    return true;
+  }
+
+ private:
+  RecordSource* base_;
+  ProgressCounters* progress_;
+  uint64_t pending_ = 0;
+};
+
 }  // namespace
 
 Status PrepareSortContext(Env* env, const ExternalSortOptions& options,
@@ -76,6 +105,8 @@ Status PrepareSortContext(Env* env, const ExternalSortOptions& options,
   context->env = env;
   context->options = &options;
   context->cancel = options.cancel;
+  context->progress = options.progress;
+  context->metrics = options.metrics;
   if (IsCancelled(context->cancel)) {
     return Status::Cancelled("sort cancelled before it started");
   }
@@ -100,12 +131,19 @@ Status PrepareSortContext(Env* env, const ExternalSortOptions& options,
 
 Status RunGenerationPhase::Run(SortContext* context) {
   const ExternalSortOptions& options = *context->options;
+  if (context->progress != nullptr) {
+    context->progress->AdvancePhase(SortProgressPhase::kRunGeneration);
+  }
   std::unique_ptr<RunGenerator> generator = MakeRunGenerator(
       options.algorithm, options.memory_records, options.twrs);
 
   FileRunSinkOptions sink_options;
   sink_options.block_bytes = options.block_bytes;
   sink_options.pool = context->pool;
+  if (context->metrics != nullptr) {
+    sink_options.flush_histogram =
+        context->metrics->Histogram("run_sink.flush_seconds");
+  }
   FileRunSink sink(context->env, context->sort_dir, "sort", sink_options);
 
   CancellableSource cancellable_source(source_, context->cancel);
@@ -115,6 +153,14 @@ Status RunGenerationPhase::Run(SortContext* context) {
   if (context->cancel != nullptr) {
     source = &cancellable_source;
     out = &cancellable_sink;
+  }
+  // Outermost wrapper, so only records the generator really received are
+  // counted (a fired cancel token truncates the inner source first).
+  std::unique_ptr<ProgressSource> progress_source;
+  if (context->progress != nullptr) {
+    progress_source =
+        std::make_unique<ProgressSource>(source, context->progress);
+    source = progress_source.get();
   }
 
   Stopwatch watch;
@@ -127,6 +173,11 @@ Status RunGenerationPhase::Run(SortContext* context) {
     return Status::Cancelled("sort cancelled during run generation");
   }
   context->result.run_gen_seconds = watch.ElapsedSeconds();
+  progress_source.reset();  // flush the batched remainder before returning
+  if (context->metrics != nullptr) {
+    context->metrics->Histogram("sort.run_generation_seconds")
+        ->RecordSeconds(context->result.run_gen_seconds);
+  }
   context->runs = sink.runs();
   if (options.on_merge_begin) {
     // The heaps are gone; from here on the sort holds only merge buffers.
@@ -138,6 +189,10 @@ Status RunGenerationPhase::Run(SortContext* context) {
 
 Status MergePlanningPhase::Run(SortContext* context) {
   const ExternalSortOptions& options = *context->options;
+  if (context->progress != nullptr) {
+    context->progress->AdvancePhase(SortProgressPhase::kMergePlanning);
+  }
+  Stopwatch watch;
   MergeOptions plan;
   plan.fan_in = options.fan_in;
   plan.block_bytes = options.block_bytes;
@@ -156,16 +211,30 @@ Status MergePlanningPhase::Run(SortContext* context) {
       context->pool != nullptr ? options.parallel.final_merge_threads : 1;
   plan.output_range = context->output_range;
   plan.cancel = context->cancel;
+  plan.progress = context->progress;
+  if (context->metrics != nullptr) {
+    plan.flush_histogram =
+        context->metrics->Histogram("merge_sink.flush_seconds");
+    context->metrics->Histogram("sort.merge_planning_seconds")
+        ->RecordSeconds(watch.ElapsedSeconds());
+  }
   context->merge_plan = plan;
   return Status::OK();
 }
 
 Status FinalMergePhase::Run(SortContext* context) {
+  if (context->progress != nullptr) {
+    context->progress->AdvancePhase(SortProgressPhase::kFinalMerge);
+  }
   Stopwatch watch;
   TWRS_RETURN_IF_ERROR(MergeRuns(context->env, std::move(context->runs),
                                  context->merge_plan, output_path_,
                                  &context->result.merge));
   context->result.merge_seconds = watch.ElapsedSeconds();
+  if (context->metrics != nullptr) {
+    context->metrics->Histogram("sort.final_merge_seconds")
+        ->RecordSeconds(context->result.merge_seconds);
+  }
   context->result.output_records = context->result.run_gen.total_records;
   return Status::OK();
 }

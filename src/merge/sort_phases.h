@@ -35,6 +35,14 @@ struct SortContext {
   /// run-generation and merge phases. Null = not cancellable.
   const CancelToken* cancel = nullptr;
 
+  /// Live progress counters from the sort options; each phase advances
+  /// the current phase and feeds its record counts. Null = no progress.
+  ProgressCounters* progress = nullptr;
+
+  /// Metrics registry from the sort options; each phase records its wall
+  /// time and sink flush latencies. Null = no metrics.
+  MetricsRegistry* metrics = nullptr;
+
   /// Runs produced by the run-generation phase.
   std::vector<RunInfo> runs;
 

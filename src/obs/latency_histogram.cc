@@ -1,0 +1,67 @@
+#include "obs/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace twrs {
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  uint64_t count = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = c;
+    count += c;
+  }
+  snap.count = count;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (count > 0) {
+    const uint64_t min = min_.load(std::memory_order_relaxed);
+    snap.min = min == UINT64_MAX ? 0 : min;
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void LatencyHistogram::Snapshot::Merge(const Snapshot& other) {
+  if (other.count == 0) return;
+  if (buckets.empty()) buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets && i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+uint64_t LatencyHistogram::Snapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank: the smallest value with at least ceil(q * count)
+  // observations at or below it (rank 1 for q == 0).
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * count)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      return BucketLower(i) + BucketWidth(i) / 2;
+    }
+  }
+  // Unreachable when buckets/count are consistent; fall back to max.
+  return max;
+}
+
+double LatencyHistogram::Snapshot::Mean() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+}  // namespace twrs

@@ -1,0 +1,147 @@
+#ifndef TWRS_OBS_LATENCY_HISTOGRAM_H_
+#define TWRS_OBS_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace twrs {
+
+/// Lock-free, fixed-memory latency histogram in the HDR-histogram family:
+/// values are bucketed logarithmically by octave (power of two) with
+/// kSubBuckets linear sub-buckets per octave, so every recorded value lands
+/// in a bucket whose width is at most value/kSubBuckets. Quantile queries
+/// therefore carry a bounded relative error (kRelativeErrorBound); values
+/// below kSubBuckets are represented exactly.
+///
+/// Recording is a single relaxed fetch_add on one of a fixed array of
+/// atomic buckets — safe from any number of threads with no locks, cheap
+/// enough for per-block I/O paths. Memory is constant (~15 KiB) regardless
+/// of the number or range of samples.
+///
+/// Values are dimensionless uint64 ticks; the sort stack records wall time
+/// in nanoseconds via RecordSeconds and converts back to seconds when
+/// summarizing (see obs/metrics.h).
+///
+/// TakeSnapshot() reads the buckets with relaxed loads, so a snapshot taken
+/// while recorders are active is a slightly stale but internally usable
+/// view; once recording has quiesced it is exact.
+class LatencyHistogram {
+ public:
+  /// log2 of the number of linear sub-buckets per octave.
+  static constexpr size_t kSubBucketBits = 5;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBucketBits;  // 32
+
+  /// One linear block for values in [0, kSubBuckets), then one block of
+  /// kSubBuckets sub-buckets per octave for bit widths kSubBucketBits+1
+  /// through 64.
+  static constexpr size_t kNumBuckets = (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  /// Worst-case relative error of a quantile reported from bucket
+  /// midpoints: bucket width is value/kSubBuckets at most, and the
+  /// midpoint is off by at most half a width.
+  static constexpr double kRelativeErrorBound = 1.0 / kSubBuckets;
+
+  static constexpr double kTicksPerSecond = 1e9;  // record in nanoseconds
+
+  LatencyHistogram() = default;
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one sample. Thread-safe, lock-free, relaxed ordering.
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    UpdateMin(value);
+    UpdateMax(value);
+  }
+
+  /// Records a wall-time duration in seconds as nanosecond ticks.
+  /// Negative durations clamp to zero.
+  void RecordSeconds(double seconds) {
+    Record(seconds <= 0 ? 0 : static_cast<uint64_t>(seconds * kTicksPerSecond));
+  }
+
+  /// A point-in-time copy of the bucket counts plus the summary scalars.
+  /// Snapshots are plain values: mergeable, copyable, queryable with no
+  /// further synchronization.
+  struct Snapshot {
+    uint64_t count = 0;  ///< Sum of bucket counts (self-consistent).
+    uint64_t sum = 0;    ///< Sum of recorded values, in ticks.
+    uint64_t min = 0;    ///< Smallest recorded value; 0 when empty.
+    uint64_t max = 0;    ///< Largest recorded value; 0 when empty.
+    std::vector<uint64_t> buckets;  ///< kNumBuckets counts.
+
+    /// Folds `other` into this snapshot. Associative and commutative, so
+    /// per-thread or per-shard histograms can be combined in any order.
+    void Merge(const Snapshot& other);
+
+    /// Nearest-rank quantile from bucket midpoints, q in [0, 1].
+    /// Returns 0 for an empty snapshot. The result is within
+    /// kRelativeErrorBound of the exact nearest-rank quantile of the
+    /// recorded values.
+    uint64_t ValueAtQuantile(double q) const;
+
+    /// Arithmetic mean of the recorded values in ticks; exact (not
+    /// bucketed) because the sum is tracked separately. 0 when empty.
+    double Mean() const;
+  };
+
+  Snapshot TakeSnapshot() const;
+
+  /// Index of the bucket `value` lands in. Exposed for tests.
+  static size_t BucketIndex(uint64_t value) {
+    if (value < kSubBuckets) return static_cast<size_t>(value);
+    // Position of the most significant set bit; value >= 32 so msb >= 5.
+    const int msb = 63 - __builtin_clzll(value);
+    const size_t block = static_cast<size_t>(msb) - (kSubBucketBits - 1);
+    // Shift so the value's top kSubBucketBits+1 bits land in
+    // [kSubBuckets, 2*kSubBuckets); the low half indexes the sub-bucket.
+    const size_t sub =
+        static_cast<size_t>(value >>
+                            (msb - static_cast<int>(kSubBucketBits))) -
+        kSubBuckets;
+    return block * kSubBuckets + sub;
+  }
+
+  /// Smallest value mapping to bucket `index`. Exposed for tests.
+  static uint64_t BucketLower(size_t index) {
+    const size_t block = index >> kSubBucketBits;
+    const size_t sub = index & (kSubBuckets - 1);
+    if (block == 0) return sub;
+    return (kSubBuckets + sub) << (block - 1);
+  }
+
+  /// Width of bucket `index` (number of distinct values it covers).
+  static uint64_t BucketWidth(size_t index) {
+    const size_t block = index >> kSubBucketBits;
+    return block == 0 ? 1 : uint64_t{1} << (block - 1);
+  }
+
+ private:
+  void UpdateMin(uint64_t value) {
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  void UpdateMax(uint64_t value) {
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_OBS_LATENCY_HISTOGRAM_H_

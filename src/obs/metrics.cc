@@ -1,0 +1,121 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace twrs {
+
+namespace {
+
+double TicksToSeconds(uint64_t ticks) {
+  return static_cast<double>(ticks) / LatencyHistogram::kTicksPerSecond;
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+const HistogramSummary* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSummary& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const CounterSummary* MetricsSnapshot::FindCounter(
+    const std::string& name) const {
+  for (const CounterSummary& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+HistogramSummary SummarizeHistogram(const std::string& name,
+                                    const LatencyHistogram::Snapshot& snap) {
+  HistogramSummary s;
+  s.name = name;
+  s.count = snap.count;
+  s.mean_seconds = snap.Mean() / LatencyHistogram::kTicksPerSecond;
+  s.min_seconds = TicksToSeconds(snap.min);
+  s.max_seconds = TicksToSeconds(snap.max);
+  s.p50_seconds = TicksToSeconds(snap.ValueAtQuantile(0.50));
+  s.p90_seconds = TicksToSeconds(snap.ValueAtQuantile(0.90));
+  s.p99_seconds = TicksToSeconds(snap.ValueAtQuantile(0.99));
+  s.p999_seconds = TicksToSeconds(snap.ValueAtQuantile(0.999));
+  return s;
+}
+
+LatencyHistogram* MetricsRegistry::Histogram(const std::string& name) {
+  MutexLock lock(&mu_);
+  std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+MonotonicCounter* MetricsRegistry::Counter(const std::string& name) {
+  MutexLock lock(&mu_);
+  std::unique_ptr<MonotonicCounter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<MonotonicCounter>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  MutexLock lock(&mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back(CounterSummary{name, counter->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.push_back(SummarizeHistogram(name, histogram->TakeSnapshot()));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const CounterSummary& c : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + c.name + "\": ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, c.value);
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const HistogramSummary& h : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + h.name + "\": {";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, h.count);
+    out += std::string("\"count\": ") + buf;
+    const std::pair<const char*, double> fields[] = {
+        {"mean_seconds", h.mean_seconds}, {"min_seconds", h.min_seconds},
+        {"max_seconds", h.max_seconds},   {"p50_seconds", h.p50_seconds},
+        {"p90_seconds", h.p90_seconds},   {"p99_seconds", h.p99_seconds},
+        {"p999_seconds", h.p999_seconds}};
+    for (const auto& [key, value] : fields) {
+      out += ", \"";
+      out += key;
+      out += "\": ";
+      AppendJsonNumber(&out, value);
+    }
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace twrs

@@ -1,0 +1,105 @@
+#ifndef TWRS_OBS_METRICS_H_
+#define TWRS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/latency_histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace twrs {
+
+/// Monotonically increasing event counter. Thread-safe, lock-free.
+class MonotonicCounter {
+ public:
+  MonotonicCounter() = default;
+
+  MonotonicCounter(const MonotonicCounter&) = delete;
+  MonotonicCounter& operator=(const MonotonicCounter&) = delete;
+
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Percentile summary of one named histogram. All durations are reported
+/// in seconds (histograms record nanosecond ticks internally).
+struct HistogramSummary {
+  std::string name;
+  uint64_t count = 0;
+  double mean_seconds = 0;
+  double min_seconds = 0;
+  double max_seconds = 0;
+  double p50_seconds = 0;
+  double p90_seconds = 0;
+  double p99_seconds = 0;
+  double p999_seconds = 0;
+};
+
+struct CounterSummary {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// Point-in-time view of every metric in a registry, name-ordered.
+struct MetricsSnapshot {
+  std::vector<CounterSummary> counters;
+  std::vector<HistogramSummary> histograms;
+
+  /// Summary for `name`, or nullptr if absent.
+  const HistogramSummary* FindHistogram(const std::string& name) const;
+  const CounterSummary* FindCounter(const std::string& name) const;
+};
+
+/// Builds a HistogramSummary (seconds) from a histogram snapshot.
+HistogramSummary SummarizeHistogram(const std::string& name,
+                                    const LatencyHistogram::Snapshot& snap);
+
+/// Named registry of latency histograms and monotonic counters.
+///
+/// Lookup (Histogram/Counter) takes a mutex and creates the metric on
+/// first use; the returned pointer is stable for the registry's lifetime,
+/// so hot paths resolve their metric once at wiring time and then record
+/// lock-free. Snapshot/ToJson can run concurrently with recording.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the histogram registered under `name`, creating it on first
+  /// use. The pointer stays valid as long as the registry does.
+  LatencyHistogram* Histogram(const std::string& name);
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The pointer stays valid as long as the registry does.
+  MonotonicCounter* Counter(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Serializes the full registry as a JSON object:
+  ///   {"counters": {name: value, ...},
+  ///    "histograms": {name: {count, mean_seconds, p50_seconds, ...}, ...}}
+  std::string ToJson() const;
+
+ private:
+  mutable Mutex mu_;
+  // std::map keeps snapshots and JSON name-ordered and never invalidates
+  // the unique_ptr payloads handed out by Histogram()/Counter().
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      TWRS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<MonotonicCounter>> counters_
+      TWRS_GUARDED_BY(mu_);
+};
+
+}  // namespace twrs
+
+#endif  // TWRS_OBS_METRICS_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/latency_histogram.h"
+#include "util/stopwatch.h"
+
 namespace twrs {
 
 void MemoryLease::Release() {
@@ -39,6 +42,7 @@ Status MemoryGovernor::Reserve(size_t nominal_records, MemoryLease* lease,
   const size_t ask = std::min(nominal_records, options_.capacity_records);
   const size_t floor = FloorFor(ask);
 
+  Stopwatch wait_watch;
   MutexLock lock(&mu_);
   const uint64_t ticket = next_ticket_++;
   waiters_.push_back(ticket);
@@ -63,6 +67,9 @@ Status MemoryGovernor::Reserve(size_t nominal_records, MemoryLease* lease,
   *lease = MemoryLease(this, granted);
   // Whatever budget remains may satisfy the next ticket's floor.
   cv_.NotifyAll();
+  if (reserve_histogram_ != nullptr) {
+    reserve_histogram_->RecordSeconds(wait_watch.ElapsedSeconds());
+  }
   return Status::OK();
 }
 

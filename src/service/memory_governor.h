@@ -13,6 +13,7 @@
 
 namespace twrs {
 
+class LatencyHistogram;
 class MemoryGovernor;
 
 /// RAII lease over part of a MemoryGovernor's record budget. Move-only;
@@ -123,6 +124,14 @@ class MemoryGovernor {
   /// Wakes blocked Reserve calls so they can observe their CancelToken.
   void WakeWaiters() TWRS_EXCLUDES(mu_);
 
+  /// Records the wall time of every Reserve call — immediate grants
+  /// included, so the histogram's low percentiles show the uncontended
+  /// path and the high ones the admission queue. `histogram` must outlive
+  /// the governor; set before concurrent use. Null disables recording.
+  void set_reserve_histogram(LatencyHistogram* histogram) {
+    reserve_histogram_ = histogram;
+  }
+
   MemoryGovernorStats Stats() const TWRS_EXCLUDES(mu_);
 
   const MemoryGovernorOptions& options() const { return options_; }
@@ -141,6 +150,9 @@ class MemoryGovernor {
 
   /// Immutable after the constructor's clamp; read without the lock.
   MemoryGovernorOptions options_;
+
+  /// Written once before concurrent use, then only read.
+  LatencyHistogram* reserve_histogram_ = nullptr;
 
   mutable Mutex mu_;
   CondVar cv_;

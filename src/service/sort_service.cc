@@ -30,6 +30,10 @@ struct SortJob {
   CancelToken cancel;
   Stopwatch submitted_at;
 
+  /// Live progress, updated from the sort's hot paths with relaxed
+  /// atomics; internally synchronized, so unguarded.
+  ProgressCounters progress;
+
   /// Wake-up channel for JobHandle::Cancel (see ServiceLink). Set once
   /// before the job is published; immutable afterwards, so unguarded.
   std::shared_ptr<ServiceLink> link;
@@ -111,6 +115,11 @@ JobState JobHandle::state() const {
   return job_->state;
 }
 
+JobProgress JobHandle::Progress() const {
+  if (job_ == nullptr) return JobProgress();
+  return job_->progress.Snapshot();
+}
+
 SortJobStats JobHandle::stats() const {
   SortJobStats stats;
   if (job_ == nullptr) return stats;
@@ -132,6 +141,8 @@ SortJobStats JobHandle::stats() const {
 SortService::SortService(Env* env, SortServiceOptions options)
     : env_(env),
       options_(options),
+      metrics_(options.enable_metrics ? std::make_unique<MetricsRegistry>()
+                                      : nullptr),
       governor_(options.governor),
       executor_(options.executor != nullptr ? options.executor
                                             : &Executor::Shared()),
@@ -140,6 +151,10 @@ SortService::SortService(Env* env, SortServiceOptions options)
       std::max<size_t>(1, options_.max_concurrent_jobs);
   // Depth 0 would reject every Submit; the smallest useful queue is 1.
   options_.max_queue_depth = std::max<size_t>(1, options_.max_queue_depth);
+  if (metrics_ != nullptr) {
+    governor_.set_reserve_histogram(
+        metrics_->Histogram("governor.reserve_wait_seconds"));
+  }
   link_->service = this;
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
@@ -181,10 +196,16 @@ Status SortService::Submit(const SortJobSpec& spec, JobHandle* handle) {
     MutexLock lock(&mu_);
     if (stopping_) {
       ++stats_.rejected;
+      if (metrics_ != nullptr) {
+        metrics_->Counter("service.jobs_rejected")->Increment();
+      }
       return Status::Busy("sort service is shutting down");
     }
     if (queue_.size() >= options_.max_queue_depth) {
       ++stats_.rejected;
+      if (metrics_ != nullptr) {
+        metrics_->Counter("service.jobs_rejected")->Increment();
+      }
       return Status::Busy(
           "admission queue full (depth " +
           std::to_string(options_.max_queue_depth) + ")");
@@ -192,6 +213,9 @@ Status SortService::Submit(const SortJobSpec& spec, JobHandle* handle) {
     ++stats_.submitted;
     queue_.push_back(job);
     stats_.peak_queued = std::max(stats_.peak_queued, queue_.size());
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Counter("service.jobs_submitted")->Increment();
   }
   scheduler_cv_.NotifyOne();
   if (handle != nullptr) *handle = JobHandle(std::move(job));
@@ -233,8 +257,13 @@ void SortService::SchedulerLoop() {
     // Admission: block for a (possibly shrunk) memory lease. FIFO both
     // here and inside the governor, so job order is submission order.
     MemoryLease lease;
+    Stopwatch reserve_watch;
     Status reserve_status = governor_.Reserve(job->spec.sort.memory_records,
                                               &lease, &job->cancel);
+    if (metrics_ != nullptr) {
+      metrics_->Histogram("service.admission_reserve_seconds")
+          ->RecordSeconds(reserve_watch.ElapsedSeconds());
+    }
     {
       MutexLock lock(&mu_);
       admitting_.reset();
@@ -252,7 +281,19 @@ void SortService::SchedulerLoop() {
       job->state = JobState::kAdmitted;
       job->granted_memory_records = lease.records();
       job->queue_seconds = job->submitted_at.ElapsedSeconds();
+      if (metrics_ != nullptr) {
+        metrics_->Histogram("service.queue_seconds")
+            ->RecordSeconds(job->queue_seconds);
+      }
     }
+
+    // Best-effort input-size probe: gives the job's progress snapshot its
+    // denominator and, in auto-shard mode, feeds the planner. On error
+    // total_records stays 0 (unknown) and the planner sees zero records,
+    // so it simply plans a single shard.
+    uint64_t input_bytes = 0;
+    TWRS_IGNORE_STATUS(env_->GetFileSize(job->spec.input_path, &input_bytes));
+    job->progress.set_total_records(input_bytes / kRecordBytes);
 
     // Plan step: fixed shard count from the spec, or adaptive from input
     // size, the lease actually granted and the executor's current load.
@@ -262,11 +303,6 @@ void SortService::SchedulerLoop() {
       plan.limit = ShardPlanLimit::kFixedByCaller;
     } else {
       ShardPlanInputs inputs;
-      uint64_t input_bytes = 0;
-      // Best-effort probe: on error the planner sees zero records and
-      // simply plans a single shard.
-      TWRS_IGNORE_STATUS(
-          env_->GetFileSize(job->spec.input_path, &input_bytes));
       inputs.input_records = input_bytes / kRecordBytes;
       inputs.memory_records = lease.records();
       inputs.executor_capacity = executor_->capacity();
@@ -314,6 +350,8 @@ void SortService::RunJob(std::shared_ptr<SortJob> job,
   sharded.sort = job->spec.sort;
   sharded.sort.memory_records = lease->records();  // the governed budget
   sharded.sort.cancel = &job->cancel;
+  sharded.sort.progress = &job->progress;
+  sharded.sort.metrics = metrics_.get();
   sharded.sort.parallel.final_merge_threads =
       std::max<size_t>(1, final_merge_threads);
   if (sharded.sort.parallel.worker_threads == 0 &&
@@ -377,11 +415,24 @@ void SortService::FinishJob(const std::shared_ptr<SortJob>& job,
         break;
     }
   }
+  if (metrics_ != nullptr) {
+    const char* outcome = state == JobState::kDone        ? "completed"
+                          : state == JobState::kCancelled ? "cancelled"
+                                                          : "failed";
+    metrics_->Counter(std::string("service.jobs_") + outcome)->Increment();
+  }
+  if (state == JobState::kDone) {
+    job->progress.AdvancePhase(SortProgressPhase::kComplete);
+  }
   {
     MutexLock lock(&job->mu);
     job->state = state;
     job->status = std::move(status);
     job->total_seconds = job->submitted_at.ElapsedSeconds();
+    if (metrics_ != nullptr) {
+      metrics_->Histogram("service.total_seconds")
+          ->RecordSeconds(job->total_seconds);
+    }
   }
   job->cv.NotifyAll();
   // The running slot is given back last, with the notifies under the lock:
@@ -466,10 +517,16 @@ void SortService::Shutdown() {
 }
 
 SortServiceStats SortService::Stats() const {
-  MutexLock lock(&mu_);
-  SortServiceStats stats = stats_;
-  stats.queued = queue_.size();
-  stats.running = running_;
+  SortServiceStats stats;
+  {
+    MutexLock lock(&mu_);
+    stats = stats_;
+    stats.queued = queue_.size();
+    stats.running = running_;
+  }
+  // Outside mu_: the registry has its own lock, and snapshotting every
+  // histogram is too much work to hold the scheduler's mutex across.
+  if (metrics_ != nullptr) stats.metrics = metrics_->Snapshot();
   return stats;
 }
 

@@ -9,6 +9,8 @@
 
 #include "io/env.h"
 #include "merge/external_sorter.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "service/memory_governor.h"
 #include "service/shard_planner.h"
 #include "shard/sharded_sorter.h"
@@ -122,6 +124,14 @@ class JobHandle {
   JobState state() const;
   SortJobStats stats() const;
 
+  /// Live progress of the job: current phase, records ingested/merged and
+  /// bytes of I/O so far. Cheap (relaxed atomic loads) and safe to poll
+  /// from any thread while the job runs; writers batch their increments,
+  /// so a mid-flight snapshot can trail the truth by a bounded amount.
+  /// Exact once the job is terminal. Default snapshot on an invalid
+  /// handle.
+  JobProgress Progress() const;
+
  private:
   friend class SortService;
   explicit JobHandle(std::shared_ptr<internal::SortJob> job);
@@ -147,6 +157,13 @@ struct SortServiceOptions {
   /// Executor jobs (and their shard sorts and pipelined features) run on;
   /// null = Executor::Shared(). Must outlive the service.
   Executor* executor = nullptr;
+
+  /// When true the service owns a MetricsRegistry and threads it through
+  /// every job: per-phase latency histograms, flush/reserve-wait timings
+  /// and outcome counters, surfaced via Stats().metrics. Recording is
+  /// lock-free on the hot paths; turn it off to measure the (small)
+  /// residual overhead or to run with zero instrumentation.
+  bool enable_metrics = true;
 };
 
 /// Aggregate service counters (snapshot).
@@ -164,6 +181,10 @@ struct SortServiceStats {
   size_t running = 0;  ///< currently admitted or running
   size_t peak_queued = 0;
   size_t peak_running = 0;
+
+  /// Registry snapshot (histograms and counters) when the service runs
+  /// with enable_metrics; empty otherwise.
+  MetricsSnapshot metrics;
 };
 
 /// Long-running multi-tenant sort scheduler: Submit returns immediately
@@ -202,6 +223,10 @@ class SortService {
   SortServiceStats Stats() const TWRS_EXCLUDES(mu_);
   MemoryGovernorStats GovernorStats() const { return governor_.Stats(); }
 
+  /// The service's registry; null when enable_metrics is false. Stable
+  /// for the service's lifetime — callers may cache histogram pointers.
+  MetricsRegistry* metrics() const { return metrics_.get(); }
+
   const SortServiceOptions& options() const { return options_; }
 
  private:
@@ -236,6 +261,9 @@ class SortService {
 
   Env* env_;
   SortServiceOptions options_;
+  /// Declared before governor_: the governor's reserve histogram lives in
+  /// this registry, so the registry must be destroyed after it.
+  std::unique_ptr<MetricsRegistry> metrics_;
   MemoryGovernor governor_;
   Executor* executor_;
 

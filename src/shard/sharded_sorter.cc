@@ -62,6 +62,13 @@ Status ShardedSorter::Sort(RecordSource* source,
   Stopwatch staging_watch;
   CountingEnv env(env_);
   env.WatchPath(output_path);
+  // Job-level byte progress comes from this outer env; the per-shard
+  // sub-sorts below run with progress_bytes off so their nested
+  // CountingEnvs don't double-count the same I/O.
+  if (options_.sort.progress != nullptr) {
+    env.MirrorBytesTo(options_.sort.progress->bytes_read_counter(),
+                      options_.sort.progress->bytes_written_counter());
+  }
   const CancelToken* cancel = options_.sort.cancel;
   const std::string shard_dir =
       options_.sort.temp_dir + "/" + UniqueScratchDirName("shard");
@@ -117,6 +124,13 @@ Status ShardedSorter::SortFile(const std::string& input_path,
   Stopwatch staging_watch;
   CountingEnv env(env_);
   env.WatchPath(output_path);
+  // Job-level byte progress comes from this outer env; the per-shard
+  // sub-sorts below run with progress_bytes off so their nested
+  // CountingEnvs don't double-count the same I/O.
+  if (options_.sort.progress != nullptr) {
+    env.MirrorBytesTo(options_.sort.progress->bytes_read_counter(),
+                      options_.sort.progress->bytes_written_counter());
+  }
   const CancelToken* cancel = options_.sort.cancel;
   const std::string shard_dir =
       options_.sort.temp_dir + "/" + UniqueScratchDirName("shard");
@@ -253,6 +267,9 @@ Status ShardedSorter::SortStaged(CountingEnv* env,
     for (size_t i = 0; i < num_shards; ++i) {
       ExternalSortOptions shard_options = options_.sort;
       shard_options.temp_dir = shard_dir;
+      // Bytes are mirrored once by the caller's CountingEnv (see Sort /
+      // SortFile); phase and record progress still flow through.
+      shard_options.progress_bytes = false;
       if (shard_options.parallel.executor == nullptr) {
         shard_options.parallel.executor = executor;
       }

@@ -1,0 +1,231 @@
+#include "obs/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "stats/descriptive.h"
+
+namespace twrs {
+namespace {
+
+/// Exact nearest-rank quantile of a sorted sample, the definition
+/// ValueAtQuantile approximates: the smallest value whose cumulative
+/// count reaches ceil(q * n), clamped to at least rank 1.
+uint64_t ExactQuantile(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double n = static_cast<double>(sorted.size());
+  size_t rank = static_cast<size_t>(std::ceil(q * n));
+  rank = std::max<size_t>(1, std::min(rank, sorted.size()));
+  return sorted[rank - 1];
+}
+
+void ExpectQuantileWithinBound(const LatencyHistogram::Snapshot& snap,
+                               const std::vector<uint64_t>& sorted,
+                               double q) {
+  const double exact = static_cast<double>(ExactQuantile(sorted, q));
+  const double approx = static_cast<double>(snap.ValueAtQuantile(q));
+  // The bucketed quantile sits in the same bucket as the exact one, and
+  // bucket midpoints are within kRelativeErrorBound of any value in the
+  // bucket.
+  const double bound =
+      LatencyHistogram::kRelativeErrorBound * std::max(exact, 1.0);
+  EXPECT_NEAR(approx, exact, bound)
+      << "q=" << q << " exact=" << exact << " approx=" << approx;
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) h.Record(v);
+  const auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, LatencyHistogram::kSubBuckets);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, LatencyHistogram::kSubBuckets - 1);
+  // Below kSubBuckets every value has its own unit-width bucket, so the
+  // quantiles are exact, not just within the error bound.
+  std::vector<uint64_t> sorted;
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    sorted.push_back(v);
+  }
+  for (double q : {0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(snap.ValueAtQuantile(q), ExactQuantile(sorted, q)) << q;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexRoundTrips) {
+  // Every probed value must land in a bucket that actually covers it.
+  std::vector<uint64_t> probes;
+  for (uint64_t v = 0; v < 4096; ++v) probes.push_back(v);
+  for (int shift = 12; shift < 63; ++shift) {
+    probes.push_back(uint64_t{1} << shift);
+    probes.push_back((uint64_t{1} << shift) - 1);
+    probes.push_back((uint64_t{1} << shift) + 12345);
+  }
+  probes.push_back(UINT64_MAX);
+  for (uint64_t v : probes) {
+    const size_t index = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(index, LatencyHistogram::kNumBuckets) << v;
+    const uint64_t lower = LatencyHistogram::BucketLower(index);
+    const uint64_t width = LatencyHistogram::BucketWidth(index);
+    EXPECT_GE(v, lower) << v;
+    // lower + width can overflow for the top octave; check via subtraction.
+    EXPECT_LT(v - lower, width) << v;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinBoundVsExact) {
+  std::mt19937_64 rng(42);
+  // Log-uniform samples spanning ~9 orders of magnitude, the shape of
+  // real latency data (microseconds to tens of seconds in ns ticks).
+  std::uniform_real_distribution<double> exponent(0.0, 9.0);
+  LatencyHistogram h;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = static_cast<uint64_t>(std::pow(10.0, exponent(rng)));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, values.size());
+  EXPECT_EQ(snap.min, values.front());
+  EXPECT_EQ(snap.max, values.back());
+  for (double q : {0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+    ExpectQuantileWithinBound(snap, values, q);
+  }
+}
+
+TEST(LatencyHistogramTest, MeanIsExactNotBucketed) {
+  // The sum is tracked outside the buckets, so the mean must match the
+  // sample mean exactly (up to float rounding), not the bucket error.
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<uint64_t> dist(1, 1 << 30);
+  LatencyHistogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = dist(rng);
+    values.push_back(static_cast<double>(v));
+    h.Record(v);
+  }
+  const auto snap = h.TakeSnapshot();
+  EXPECT_NEAR(snap.Mean(), Mean(values), 1e-6 * Mean(values));
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociativeAndExact) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<uint64_t> dist(0, uint64_t{1} << 40);
+  LatencyHistogram all, parts[3];
+  for (int i = 0; i < 9000; ++i) {
+    const uint64_t v = dist(rng);
+    all.Record(v);
+    parts[i % 3].Record(v);
+  }
+  const auto expected = all.TakeSnapshot();
+
+  // (a + b) + c
+  auto left = parts[0].TakeSnapshot();
+  left.Merge(parts[1].TakeSnapshot());
+  left.Merge(parts[2].TakeSnapshot());
+  // a + (b + c)
+  auto bc = parts[1].TakeSnapshot();
+  bc.Merge(parts[2].TakeSnapshot());
+  auto right = parts[0].TakeSnapshot();
+  right.Merge(bc);
+
+  for (const auto* merged : {&left, &right}) {
+    EXPECT_EQ(merged->count, expected.count);
+    EXPECT_EQ(merged->sum, expected.sum);
+    EXPECT_EQ(merged->min, expected.min);
+    EXPECT_EQ(merged->max, expected.max);
+    EXPECT_EQ(merged->buckets, expected.buckets);
+  }
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordingLosesNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  LatencyHistogram concurrent;
+  LatencyHistogram serial;
+  // Each thread records a deterministic stream; the serial histogram
+  // receives the identical multiset, so after the threads join the two
+  // must agree bucket for bucket.
+  for (int t = 0; t < kThreads; ++t) {
+    std::mt19937_64 rng(1000 + t);
+    std::uniform_int_distribution<uint64_t> dist(0, uint64_t{1} << 36);
+    for (int i = 0; i < kPerThread; ++i) serial.Record(dist(rng));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&concurrent, t] {
+      std::mt19937_64 rng(1000 + t);
+      std::uniform_int_distribution<uint64_t> dist(0, uint64_t{1} << 36);
+      for (int i = 0; i < kPerThread; ++i) concurrent.Record(dist(rng));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto expected = serial.TakeSnapshot();
+  const auto got = concurrent.TakeSnapshot();
+  EXPECT_EQ(got.count, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(got.count, expected.count);
+  EXPECT_EQ(got.sum, expected.sum);
+  EXPECT_EQ(got.min, expected.min);
+  EXPECT_EQ(got.max, expected.max);
+  EXPECT_EQ(got.buckets, expected.buckets);
+}
+
+TEST(LatencyHistogramTest, RecordSecondsClampsAndConverts) {
+  LatencyHistogram h;
+  h.RecordSeconds(-1.0);  // clamps to 0 ticks
+  h.RecordSeconds(0.5);   // 5e8 ns
+  const auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.min, 0u);
+  const double half_second = 0.5 * LatencyHistogram::kTicksPerSecond;
+  EXPECT_NEAR(static_cast<double>(snap.max), half_second,
+              LatencyHistogram::kRelativeErrorBound * half_second);
+}
+
+TEST(MetricsRegistryTest, StablePointersAndSnapshot) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.Histogram("sort.test_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h, registry.Histogram("sort.test_seconds"));  // stable
+  h->RecordSeconds(0.25);
+  registry.Counter("jobs")->Increment(3);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSummary* summary = snap.FindHistogram("sort.test_seconds");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->count, 1u);
+  EXPECT_NEAR(summary->p50_seconds, 0.25,
+              LatencyHistogram::kRelativeErrorBound * 0.25);
+  const CounterSummary* counter = snap.FindCounter("jobs");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 3u);
+  EXPECT_EQ(snap.FindHistogram("absent"), nullptr);
+  EXPECT_EQ(snap.FindCounter("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsWellFormedEnough) {
+  MetricsRegistry registry;
+  registry.Histogram("a.seconds")->RecordSeconds(0.001);
+  registry.Counter("b.count")->Increment();
+  const std::string json = registry.ToJson();
+  // Sanity, not a JSON parser: both sections present, braces balanced.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"b.count\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace twrs

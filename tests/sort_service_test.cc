@@ -522,5 +522,89 @@ TEST(SortServiceStressTest, SixteenConcurrentJobsMatchSerialByteForByte) {
   EXPECT_EQ(env.FileCount(), static_cast<size_t>(3 * kJobs));
 }
 
+TEST(SortServiceTest, JobProgressIsMonotonicAndReachesTotals) {
+  MemEnv env;
+  auto input = WriteWorkload(&env, "in", 40000, 13);
+
+  SortServiceOptions options;
+  options.governor.capacity_records = 4096;
+  options.governor.min_lease_records = 512;
+  SortService service(&env, options);
+  JobHandle handle;
+  ASSERT_TWRS_OK(service.Submit(SpecFor("in", "out", 1024), &handle));
+
+  const auto terminal = [](JobState state) {
+    return state == JobState::kDone || state == JobState::kFailed ||
+           state == JobState::kCancelled;
+  };
+  // Poll while the job runs: every counter and the phase are monotonic
+  // non-decreasing, whatever instant each snapshot lands on.
+  JobProgress prev = handle.Progress();
+  while (!terminal(handle.state())) {
+    const JobProgress cur = handle.Progress();
+    EXPECT_GE(cur.records_ingested, prev.records_ingested);
+    EXPECT_GE(cur.records_merged, prev.records_merged);
+    EXPECT_GE(cur.bytes_read, prev.bytes_read);
+    EXPECT_GE(cur.bytes_written, prev.bytes_written);
+    EXPECT_GE(static_cast<uint32_t>(cur.phase),
+              static_cast<uint32_t>(prev.phase));
+    prev = cur;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TWRS_OK(handle.Wait());
+
+  // Terminal snapshot is exact: it must agree with the job's own result
+  // accounting, not just approximate it.
+  const SortJobStats stats = handle.stats();
+  const JobProgress done = handle.Progress();
+  EXPECT_EQ(done.phase, SortProgressPhase::kComplete);
+  EXPECT_EQ(done.total_records, input.size());
+  EXPECT_EQ(done.records_ingested, input.size());
+  uint64_t merge_written = 0;
+  for (const ExternalSortResult& shard : stats.result.shard_results) {
+    merge_written += shard.merge.records_written;
+  }
+  EXPECT_EQ(done.records_merged, merge_written);
+  EXPECT_EQ(done.bytes_read, stats.result.bytes_read);
+  EXPECT_EQ(done.bytes_written, stats.result.bytes_written);
+
+  // The same job fed the service's metrics registry.
+  const SortServiceStats service_stats = service.Stats();
+  for (const char* name :
+       {"sort.run_generation_seconds", "sort.final_merge_seconds",
+        "governor.reserve_wait_seconds", "service.queue_seconds",
+        "service.total_seconds"}) {
+    const HistogramSummary* h = service_stats.metrics.FindHistogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GE(h->count, 1u) << name;
+  }
+  const CounterSummary* completed =
+      service_stats.metrics.FindCounter("service.jobs_completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->value, 1u);
+}
+
+TEST(SortServiceTest, MetricsCanBeDisabled) {
+  MemEnv env;
+  auto input = WriteWorkload(&env, "in", 2000, 17);
+
+  SortServiceOptions options;
+  options.governor.capacity_records = 1 << 16;
+  options.enable_metrics = false;
+  SortService service(&env, options);
+  EXPECT_EQ(service.metrics(), nullptr);
+
+  JobHandle handle;
+  ASSERT_TWRS_OK(service.Submit(SpecFor("in", "out", 128), &handle));
+  ASSERT_TWRS_OK(handle.Wait());
+
+  // Progress still works without the registry (it rides on the job, not
+  // on the metrics); the stats snapshot simply has no histograms.
+  const JobProgress done = handle.Progress();
+  EXPECT_EQ(done.records_ingested, input.size());
+  EXPECT_EQ(done.phase, SortProgressPhase::kComplete);
+  EXPECT_TRUE(service.Stats().metrics.histograms.empty());
+}
+
 }  // namespace
 }  // namespace twrs
