@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/build_info.h"
+#include "simd/dispatch.h"
 
 #include "core/replacement_selection.h"
 #include "core/run_sink.h"
@@ -176,8 +177,9 @@ inline void JsonReporter::Flush() {
       << TWRS_BENCH_SCHEMA_VERSION << ",\n  \"git_sha\": \""
       << TWRS_BUILD_GIT_SHA << "\",\n  \"profile\": \""
       << (profile_.empty() ? name_ : profile_) << "\",\n  \"timestamp\": \""
-      << timestamp << "\",\n  \"scale\": " << Scale()
-      << ",\n  \"results\": [\n";
+      << timestamp << "\",\n  \"simd_dispatch\": \""
+      << simd::DispatchLevelName(simd::ActiveDispatchLevel())
+      << "\",\n  \"scale\": " << Scale() << ",\n  \"results\": [\n";
   for (size_t i = 0; i < entries_.size(); ++i) {
     out << "    " << entries_[i] << (i + 1 < entries_.size() ? "," : "")
         << "\n";

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "heap/binary_heap.h"
+#include "simd/kernels.h"
 
 namespace twrs {
 
@@ -78,7 +79,7 @@ Status BatchedReplacementSelection::Generate(RecordSource* source,
     while (keys.size() < batch && source->Next(&key)) keys.push_back(key);
     if (keys.size() < batch) input_done = true;
     if (keys.empty()) return false;
-    std::sort(keys.begin(), keys.end());
+    simd::SortKeysBlock(keys.data(), keys.size());
     in_memory += keys.size();
     size_t boundary = 0;
     if (have_last_output) {

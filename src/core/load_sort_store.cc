@@ -1,7 +1,8 @@
 #include "core/load_sort_store.h"
 
-#include <algorithm>
 #include <vector>
+
+#include "simd/kernels.h"
 
 namespace twrs {
 
@@ -23,7 +24,7 @@ Status LoadSortStore::Generate(RecordSource* source, RunSink* sink,
       block.push_back(key);
     }
     if (block.empty()) break;
-    std::sort(block.begin(), block.end());
+    simd::SortKeysBlock(block.data(), block.size());
     TWRS_RETURN_IF_ERROR(sink->BeginRun());
     for (Key k : block) TWRS_RETURN_IF_ERROR(sink->Append(kStream1, k));
     TWRS_RETURN_IF_ERROR(sink->EndRun());

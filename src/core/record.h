@@ -26,20 +26,36 @@ struct TaggedRecord {
   }
 };
 
+/// 1 when the host's in-memory integer layout already matches the on-disk
+/// little-endian record format, letting the codecs degenerate to memcpy.
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define TWRS_LITTLE_ENDIAN 1
+#else
+#define TWRS_LITTLE_ENDIAN 0
+#endif
+
 /// Serializes `key` into `out` (little-endian, kRecordBytes bytes).
 inline void EncodeKey(Key key, uint8_t* out) {
   uint64_t u = static_cast<uint64_t>(key);
+#if TWRS_LITTLE_ENDIAN
+  std::memcpy(out, &u, kRecordBytes);
+#else
   for (size_t i = 0; i < kRecordBytes; ++i) {
     out[i] = static_cast<uint8_t>(u >> (8 * i));
   }
+#endif
 }
 
 /// Deserializes a key written by EncodeKey.
 inline Key DecodeKey(const uint8_t* in) {
   uint64_t u = 0;
+#if TWRS_LITTLE_ENDIAN
+  std::memcpy(&u, in, kRecordBytes);
+#else
   for (size_t i = 0; i < kRecordBytes; ++i) {
     u |= static_cast<uint64_t>(in[i]) << (8 * i);
   }
+#endif
   return static_cast<Key>(u);
 }
 

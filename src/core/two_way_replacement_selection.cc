@@ -8,6 +8,7 @@
 #include "core/input_buffer.h"
 #include "core/victim_buffer.h"
 #include "heap/double_heap.h"
+#include "simd/kernels.h"
 
 namespace twrs {
 
@@ -197,7 +198,7 @@ class Engine {
           for (const TaggedRecord& r : contents) {
             if (r.run == current_run_) snapshot.push_back(r.key);
           }
-          std::sort(snapshot.begin(), snapshot.end());
+          simd::SortKeysBlock(snapshot.data(), snapshot.size());
         }
         const VictimBuffer::RangePopulation population =
             [&snapshot](Key lo, Key hi) -> uint64_t {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "simd/kernels.h"
+
 namespace twrs {
 
 VictimBuffer::VictimBuffer(size_t capacity) : capacity_(capacity) {}
@@ -14,7 +16,7 @@ void VictimBuffer::Add(Key key) {
 }
 
 size_t VictimBuffer::LargestGapIndex() {
-  std::sort(values_.begin(), values_.end());
+  simd::SortKeysBlock(values_.data(), values_.size());
   size_t best = 0;
   Key best_gap = values_[1] - values_[0];
   for (size_t i = 1; i + 1 < values_.size(); ++i) {
@@ -49,7 +51,7 @@ Status VictimBuffer::BootstrapSplit(std::vector<Key>* lows,
   if (population == nullptr) {
     gap = LargestGapIndex();
   } else {
-    std::sort(values_.begin(), values_.end());
+    simd::SortKeysBlock(values_.data(), values_.size());
     // Widest gap whose interior can be absorbed by this buffer. A wider
     // gap makes the buffer more useful (§4.3), but a gap holding more
     // records than the buffer's capacity would thrash: repeated flushes
@@ -130,7 +132,7 @@ Status VictimBuffer::FlushActive(RunSink* sink) {
 
 Status VictimBuffer::FlushFinal(RunSink* sink) {
   if (values_.empty()) return Status::OK();
-  std::sort(values_.begin(), values_.end());
+  simd::SortKeysBlock(values_.data(), values_.size());
   for (Key v : values_) {
     TWRS_RETURN_IF_ERROR(sink->Append(kStream3, v));
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "merge/external_sorter.h"
+#include "simd/kernels.h"
 
 namespace twrs {
 
@@ -43,7 +44,7 @@ class Context {
       // Leaf: the bucket fits in memory (§2.2 step 3 with internal sort).
       std::vector<Key> keys;
       TWRS_RETURN_IF_ERROR(ReadAllRecords(env_, path, &keys));
-      std::sort(keys.begin(), keys.end());
+      simd::SortKeysBlock(keys.data(), keys.size());
       for (Key k : keys) TWRS_RETURN_IF_ERROR(output_->Append(k));
       if (stats_ != nullptr) ++stats_->in_memory_sorts;
       return env_->RemoveFile(path);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simd/kernels.h"
+
 namespace twrs {
 
 RecordWriter::RecordWriter(Env* env, const std::string& path,
@@ -40,6 +42,25 @@ Status RecordWriter::Append(Key key) {
   return status_;
 }
 
+Status RecordWriter::AppendBatch(const Key* keys, size_t n) {
+  TWRS_RETURN_IF_ERROR(status_);
+  size_t done = 0;
+  while (done < n) {
+    const size_t room = (buffer_.size() - buffer_used_) / kRecordBytes;
+    const size_t take = std::min(room, n - done);
+    simd::EncodeKeysBatch(keys + done, take, buffer_.data() + buffer_used_);
+    buffer_used_ += take * kRecordBytes;
+    count_ += take;
+    done += take;
+    if (buffer_used_ == buffer_.size()) {
+      status_ = file_->Append(buffer_.data(), buffer_used_);
+      buffer_used_ = 0;
+      TWRS_RETURN_IF_ERROR(status_);
+    }
+  }
+  return status_;
+}
+
 Status RecordWriter::Finish() {
   if (finished_) return status_;
   finished_ = true;
@@ -70,6 +91,20 @@ RecordReader::RecordReader(std::unique_ptr<SequentialFile> file,
   }
 }
 
+Status RecordReader::Refill() {
+  size_t got = 0;
+  status_ = file_->Read(buffer_.data(), buffer_.size(), &got);
+  TWRS_RETURN_IF_ERROR(status_);
+  if (got < buffer_.size()) at_eof_ = true;
+  if (got % kRecordBytes != 0) {
+    status_ = Status::Corruption("file size not a multiple of record size");
+    return status_;
+  }
+  buffer_size_ = got;
+  buffer_pos_ = 0;
+  return Status::OK();
+}
+
 Status RecordReader::Next(Key* key, bool* eof) {
   TWRS_RETURN_IF_ERROR(status_);
   *eof = false;
@@ -78,17 +113,8 @@ Status RecordReader::Next(Key* key, bool* eof) {
       *eof = true;
       return Status::OK();
     }
-    size_t got = 0;
-    status_ = file_->Read(buffer_.data(), buffer_.size(), &got);
-    TWRS_RETURN_IF_ERROR(status_);
-    if (got < buffer_.size()) at_eof_ = true;
-    if (got % kRecordBytes != 0) {
-      status_ = Status::Corruption("file size not a multiple of record size");
-      return status_;
-    }
-    buffer_size_ = got;
-    buffer_pos_ = 0;
-    if (got == 0) {
+    TWRS_RETURN_IF_ERROR(Refill());
+    if (buffer_size_ == 0) {
       *eof = true;
       return Status::OK();
     }
@@ -98,17 +124,37 @@ Status RecordReader::Next(Key* key, bool* eof) {
   return Status::OK();
 }
 
+Status RecordReader::NextBatch(Key* out, size_t max, size_t* got) {
+  *got = 0;
+  TWRS_RETURN_IF_ERROR(status_);
+  while (*got < max) {
+    if (buffer_pos_ == buffer_size_) {
+      if (at_eof_) return Status::OK();
+      TWRS_RETURN_IF_ERROR(Refill());
+      if (buffer_size_ == 0) return Status::OK();
+    }
+    const size_t avail = (buffer_size_ - buffer_pos_) / kRecordBytes;
+    const size_t take = std::min(avail, max - *got);
+    simd::DecodeKeysBatch(buffer_.data() + buffer_pos_, take, out + *got);
+    buffer_pos_ += take * kRecordBytes;
+    *got += take;
+  }
+  return Status::OK();
+}
+
 Status ReadAllRecords(Env* env, const std::string& path,
                       std::vector<Key>* out) {
   out->clear();
   RecordReader reader(env, path);
   TWRS_RETURN_IF_ERROR(reader.status());
+  constexpr size_t kBatch = kDefaultBlockBytes / kRecordBytes;
   for (;;) {
-    Key k;
-    bool eof;
-    TWRS_RETURN_IF_ERROR(reader.Next(&k, &eof));
-    if (eof) return Status::OK();
-    out->push_back(k);
+    size_t got = 0;
+    const size_t old = out->size();
+    out->resize(old + kBatch);
+    TWRS_RETURN_IF_ERROR(reader.NextBatch(out->data() + old, kBatch, &got));
+    out->resize(old + got);
+    if (got == 0) return Status::OK();
   }
 }
 
@@ -116,7 +162,7 @@ Status WriteAllRecords(Env* env, const std::string& path,
                        const std::vector<Key>& keys) {
   RecordWriter writer(env, path);
   TWRS_RETURN_IF_ERROR(writer.status());
-  for (Key k : keys) TWRS_RETURN_IF_ERROR(writer.Append(k));
+  TWRS_RETURN_IF_ERROR(writer.AppendBatch(keys.data(), keys.size()));
   return writer.Finish();
 }
 

@@ -39,6 +39,10 @@ class RecordWriter {
   /// Appends one record.
   Status Append(Key key);
 
+  /// Appends `n` records in bulk, serializing whole block-sized chunks
+  /// through the simd batch codec instead of one record at a time.
+  Status AppendBatch(const Key* keys, size_t n);
+
   /// Flushes remaining buffered records and closes the file.
   Status Finish();
 
@@ -74,7 +78,15 @@ class RecordReader {
   /// Reads the next record into `*key`; sets `*eof` instead at end of file.
   Status Next(Key* key, bool* eof);
 
+  /// Reads up to `max` records into `out` in bulk via the simd batch
+  /// codec. Sets `*got` to the number delivered; 0 means end of file.
+  Status NextBatch(Key* out, size_t max, size_t* got);
+
  private:
+  /// Refills buffer_ from the file. On return, buffer_pos_ < buffer_size_
+  /// unless the file is exhausted.
+  Status Refill();
+
   Status status_;
   std::unique_ptr<SequentialFile> file_;
   std::vector<uint8_t> buffer_;

@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "merge/loser_tree.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 
 namespace twrs {
 
@@ -120,6 +122,67 @@ class BatchedMergeProgress {
   uint64_t pending_ = 0;
 };
 
+/// Fan-in at or below which a flat min-scan replaces the loser tree. At
+/// these widths the whole candidate set fits in one or two vector loads,
+/// so a branchless simd::MinIndexN beats the tree's pointer chasing.
+constexpr size_t kSmallMergeFanIn = 8;
+
+/// Small-fan-in merge: live cursors' heads sit in a flat array scanned by
+/// MinIndexN each round. Ties resolve to the lowest array index and
+/// exhausted ways are compacted out preserving order, so the emitted key
+/// sequence is byte-identical to the loser tree's (stable lowest-way
+/// tie-break, see loser_tree.h).
+Status MergeSmallFanIn(std::vector<std::unique_ptr<RunCursor>>* cursors,
+                       const CancelToken* cancel,
+                       const std::function<Status(Key)>& emit,
+                       ProgressCounters* progress) {
+  Key keys[kSmallMergeFanIn];
+  RunCursor* ways[kSmallMergeFanIn];
+  size_t live = 0;
+  for (auto& cursor : *cursors) {
+    if (cursor->valid()) {
+      keys[live] = cursor->key();
+      ways[live] = cursor.get();
+      ++live;
+    }
+  }
+  // Resolve dispatch once and batch the call counters: one atomic add for
+  // the whole merge instead of one per selected record.
+  const simd::DispatchLevel level = simd::ActiveDispatchLevel();
+  const auto min_index = level == simd::DispatchLevel::kAvx2
+                             ? simd::internal::MinIndexNAvx2
+                             : simd::internal::MinIndexNScalar;
+  uint64_t selections = 0;
+  Status status = Status::OK();
+  {
+    BatchedMergeProgress batched(progress);
+    while (live > 0) {
+      if (IsCancelled(cancel)) {
+        status = Status::Cancelled("merge cancelled");
+        break;
+      }
+      const size_t idx = min_index(keys, live);
+      ++selections;
+      status = emit(keys[idx]);
+      if (!status.ok()) break;
+      batched.Tick();
+      status = ways[idx]->Next();
+      if (!status.ok()) break;
+      if (ways[idx]->valid()) {
+        keys[idx] = ways[idx]->key();
+      } else {
+        for (size_t j = idx + 1; j < live; ++j) {
+          keys[j - 1] = keys[j];
+          ways[j - 1] = ways[j];
+        }
+        --live;
+      }
+    }
+  }
+  simd::AddKernelCalls(simd::Kernel::kMinIndex, level, selections);
+  return status;
+}
+
 }  // namespace
 
 Status MergeRunCursors(std::vector<std::unique_ptr<RunCursor>>* cursors,
@@ -127,6 +190,9 @@ Status MergeRunCursors(std::vector<std::unique_ptr<RunCursor>>* cursors,
                        const std::function<Status(Key)>& emit,
                        ProgressCounters* progress) {
   const size_t k = cursors->size();
+  if (k <= kSmallMergeFanIn) {
+    return MergeSmallFanIn(cursors, cancel, emit, progress);
+  }
   LoserTree tree(k);
   for (size_t i = 0; i < k; ++i) {
     if ((*cursors)[i]->valid()) tree.SetInitial(i, (*cursors)[i]->key());

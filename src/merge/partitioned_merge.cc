@@ -7,6 +7,7 @@
 #include "io/merge_sink.h"
 #include "io/reverse_run_file.h"
 #include "shard/splitters.h"
+#include "simd/kernels.h"
 
 namespace twrs {
 
@@ -57,17 +58,10 @@ class ForwardSegmentSearcher {
     const uint64_t block = lo_block - 1;
     TWRS_RETURN_IF_ERROR(LoadBlock(block));
     const uint64_t base = block * records_per_block_;
-    uint64_t lo = 0;
-    uint64_t hi = cached_records_;
-    while (lo < hi) {
-      const uint64_t mid = lo + (hi - lo) / 2;
-      if (DecodeKey(cache_.data() + mid * kRecordBytes) < bound) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    *index = base + lo;
+    *index = base + static_cast<uint64_t>(
+                        std::lower_bound(cache_keys_.begin(),
+                                         cache_keys_.end(), bound) -
+                        cache_keys_.begin());
     return Status::OK();
   }
 
@@ -88,8 +82,11 @@ class ForwardSegmentSearcher {
     cache_.resize(records * kRecordBytes);
     TWRS_RETURN_IF_ERROR(file_->ReadAt(first * kRecordBytes, cache_.data(),
                                        cache_.size()));
+    // Decode the whole block once; the binary searches then compare native
+    // keys instead of re-decoding a record per probe.
+    cache_keys_.resize(records);
+    simd::DecodeKeysBatch(cache_.data(), records, cache_keys_.data());
     cached_block_ = static_cast<int64_t>(block);
-    cached_records_ = records;
     return Status::OK();
   }
 
@@ -98,8 +95,8 @@ class ForwardSegmentSearcher {
   const uint64_t count_;
   const size_t records_per_block_;
   std::vector<uint8_t> cache_;
+  std::vector<Key> cache_keys_;
   int64_t cached_block_ = -1;
-  uint64_t cached_records_ = 0;
 };
 
 /// One run's slice of a partition: `skip` records in, `length` records long.

@@ -4,6 +4,7 @@
 
 #include "core/run_generator.h"
 #include "exec/executor.h"
+#include "simd/dispatch.h"
 #include "util/stopwatch.h"
 
 namespace twrs {
@@ -234,6 +235,9 @@ Status FinalMergePhase::Run(SortContext* context) {
   if (context->metrics != nullptr) {
     context->metrics->Histogram("sort.final_merge_seconds")
         ->RecordSeconds(context->result.merge_seconds);
+    // Mirror the per-kernel dispatch counters so the job's registry shows
+    // which simd paths this sort actually executed.
+    simd::PublishKernelCounters(context->metrics);
   }
   context->result.output_records = context->result.run_gen.total_records;
   return Status::OK();

@@ -6,6 +6,7 @@
 
 #include "core/record.h"
 #include "exec/executor.h"
+#include "simd/dispatch.h"
 
 namespace twrs {
 
@@ -526,7 +527,10 @@ SortServiceStats SortService::Stats() const {
   }
   // Outside mu_: the registry has its own lock, and snapshotting every
   // histogram is too much work to hold the scheduler's mutex across.
-  if (metrics_ != nullptr) stats.metrics = metrics_->Snapshot();
+  if (metrics_ != nullptr) {
+    simd::PublishKernelCounters(metrics_.get());
+    stats.metrics = metrics_->Snapshot();
+  }
   return stats;
 }
 

@@ -9,6 +9,7 @@
 #include "exec/executor.h"
 #include "exec/thread_pool.h"
 #include "io/record_io.h"
+#include "simd/kernels.h"
 #include "util/stopwatch.h"
 #include "workload/generators.h"
 
@@ -203,20 +204,31 @@ Status ShardedSorter::SortStaged(CountingEnv* env,
     }
     RecordReader reader(env, staged_path, options_.split_block_bytes);
     TWRS_RETURN_IF_ERROR(reader.status());
+    // Batched classification: read a block of keys, classify all of them
+    // branchlessly against the splitters (simd::PartitionBySplitters),
+    // then scatter each shard's keys to its writer in one bulk append.
+    constexpr size_t kPartitionBatch = 4096;
+    std::vector<Key> batch(kPartitionBatch);
+    std::vector<uint32_t> bucket(kPartitionBatch);
+    std::vector<std::vector<Key>> staged(num_shards);
+    for (auto& s : staged) s.reserve(kPartitionBatch);
     for (;;) {
       if (IsCancelled(cancel)) {
         return Status::Cancelled("sharded sort cancelled during partition");
       }
-      Key key;
-      bool eof;
-      TWRS_RETURN_IF_ERROR(reader.Next(&key, &eof));
-      if (eof) break;
-      const size_t idx = static_cast<size_t>(
-          std::upper_bound(local.splitters.begin(), local.splitters.end(),
-                           key) -
-          local.splitters.begin());
-      ++local.shard_records[idx];
-      TWRS_RETURN_IF_ERROR(writers[idx]->Append(key));
+      size_t got = 0;
+      TWRS_RETURN_IF_ERROR(reader.NextBatch(batch.data(), batch.size(), &got));
+      if (got == 0) break;
+      simd::PartitionBySplitters(batch.data(), got, local.splitters.data(),
+                                 local.splitters.size(), bucket.data());
+      for (size_t i = 0; i < got; ++i) staged[bucket[i]].push_back(batch[i]);
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (staged[s].empty()) continue;
+        local.shard_records[s] += staged[s].size();
+        TWRS_RETURN_IF_ERROR(
+            writers[s]->AppendBatch(staged[s].data(), staged[s].size()));
+        staged[s].clear();
+      }
     }
     for (auto& writer : writers) TWRS_RETURN_IF_ERROR(writer->Finish());
   }

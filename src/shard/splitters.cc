@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simd/kernels.h"
+
 namespace twrs {
 
 void ReservoirSampler::Add(Key key) {
@@ -17,7 +19,7 @@ void ReservoirSampler::Add(Key key) {
 std::vector<Key> PickSplitters(std::vector<Key> sample, size_t shards) {
   std::vector<Key> splitters;
   if (shards <= 1 || sample.empty()) return splitters;
-  std::sort(sample.begin(), sample.end());
+  simd::SortKeysBlock(sample.data(), sample.size());
   for (size_t i = 1; i < shards; ++i) {
     const size_t idx =
         std::min(i * sample.size() / shards, sample.size() - 1);

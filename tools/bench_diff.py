@@ -40,6 +40,7 @@ _MEASUREMENT_FIELDS = {
     "shrunk_admissions",
     "peak_queued",
     "peak_running",
+    "speedup",
 }
 # Header fields that must agree for two reports to be comparable at all.
 _IDENTITY_FIELDS = ("bench", "profile", "scale", "schema_version")
