@@ -30,6 +30,14 @@
 //                                     Implies the pooled path (--threads >= 1)
 //   --executor-threads N              capacity of the process-wide shared
 //                                     executor (0 = hardware concurrency)
+//   --limit K                         top-K selection: write only the K
+//                                     smallest (or largest, with
+//                                     --order desc) keys, still ascending.
+//                                     Small K runs the bounded dual-heap
+//                                     selector; large K sorts normally and
+//                                     prunes the merge. Unsharded only
+//   --order asc|desc                  which end of the key space --limit
+//                                     keeps (default asc = smallest)
 //   --verify                          check the output after sorting
 //   --generate DATASET                write a workload instead of sorting:
 //                                     sorted|reverse|alternating|random|mixed|imbalanced
@@ -56,7 +64,7 @@ int Usage() {
   fprintf(stderr,
           "usage: twrs_sort [options] <input> <output>\n"
           "       twrs_sort --generate <dataset> --records N <output>\n"
-          "run `head -30 examples/twrs_sort.cpp` for the option list\n");
+          "run `head -45 examples/twrs_sort.cpp` for the option list\n");
   return 2;
 }
 
@@ -222,6 +230,19 @@ int main(int argc, char** argv) {
       uint64_t v = 0;
       if (!ParseCount(next(), &v) || v > 1024) return Usage();
       executor_threads = v;
+    } else if (arg == "--limit") {
+      if (!ParseCount(next(), &options.limit)) return Usage();
+    } else if (arg == "--order") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      const std::string order = v;
+      if (order == "asc") {
+        options.order = twrs::SelectOrder::kAscending;
+      } else if (order == "desc") {
+        options.order = twrs::SelectOrder::kDescending;
+      } else {
+        return Usage();
+      }
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--generate") {
@@ -261,6 +282,12 @@ int main(int argc, char** argv) {
   }
 
   if (positionals != 2) return Usage();
+  if (options.limit > 0 && (shards > 1 || shards_auto)) {
+    fprintf(stderr,
+            "--limit runs unsharded; drop --shards (a top-K output is not "
+            "the fixed-size file the per-shard ranges assume)\n");
+    return 2;
+  }
   twrs_options.memory_records = options.memory_records;
   options.twrs = twrs_options;
   if (executor_threads > 0 &&
@@ -343,6 +370,19 @@ int main(int argc, char** argv) {
       fprintf(stderr, "read input: %s\n",
               source.status().ToString().c_str());
       return 1;
+    }
+    if (options.limit > 0) {
+      printf("top-%llu (%s) via %s: %llu of %llu records kept\n",
+             static_cast<unsigned long long>(options.limit),
+             twrs::SelectOrderName(options.order),
+             twrs::TopKStrategyName(result.topk_strategy),
+             static_cast<unsigned long long>(result.output_records),
+             static_cast<unsigned long long>(result.run_gen.total_records));
+      if (result.topk_strategy == twrs::TopKStrategy::kRunPruningMerge) {
+        printf("pruned: %llu runs, %llu records never read\n",
+               static_cast<unsigned long long>(result.merge.runs_pruned),
+               static_cast<unsigned long long>(result.merge.records_pruned));
+      }
     }
     printf("%s: %llu records, %llu runs (avg %.2fx memory), "
            "gen %.3fs + merge %.3fs = %.3fs\n",

@@ -16,6 +16,9 @@
 //                     (default 2x --memory: two full jobs' worth)
 //   --min-lease N     smallest lease the governor grants (default 4096)
 //   --shards N|auto   per-job shard policy (default auto)
+//   --limit K         submit top-K selection jobs: each output holds only
+//                     the K smallest keys; the service plans them
+//                     unsharded with a selection-aware (smaller) lease ask
 //   --max-shards N    adaptive planner ceiling (default 16)
 //   --temp-dir PATH   scratch root (default /tmp/twrs_sortd)
 //   --seed N          workload seed base (default 1)
@@ -53,7 +56,7 @@ namespace {
 int Usage() {
   fprintf(stderr,
           "usage: twrs_sortd [options]\n"
-          "run `head -40 examples/twrs_sortd.cpp` for the option list\n");
+          "run `head -45 examples/twrs_sortd.cpp` for the option list\n");
   return 2;
 }
 
@@ -152,6 +155,7 @@ int main(int argc, char** argv) {
   bool shards_auto = true;
   uint64_t max_shards = 16;
   uint64_t seed = 1;
+  uint64_t limit = 0;
   uint64_t cancel_last = 0;
   bool verify = false;
   uint64_t status_interval_ms = 0;
@@ -201,6 +205,8 @@ int main(int argc, char** argv) {
       temp_dir = v;
     } else if (arg == "--seed") {
       if (!ParseCount(next(), &seed)) return Usage();
+    } else if (arg == "--limit") {
+      if (!ParseCount(next(), &limit)) return Usage();
     } else if (arg == "--cancel") {
       if (!ParseCount(next(), &cancel_last)) return Usage();
     } else if (arg == "--verify") {
@@ -281,6 +287,7 @@ int main(int argc, char** argv) {
       spec.sort.memory_records = memory;
       spec.sort.twrs = twrs::TwoWayOptions::Recommended(memory, seed + j);
       spec.sort.temp_dir = work_dir;
+      spec.sort.limit = limit;
       spec.shards = shards_auto ? twrs::kAutoShards : shards;
       spec.sample_seed = seed + j;
       s = service.Submit(spec, &handles[j]);
@@ -365,9 +372,11 @@ int main(int argc, char** argv) {
     }
     if (job.state != twrs::JobState::kDone) continue;
     if (verify) {
+      const uint64_t expected =
+          limit > 0 ? std::min<uint64_t>(limit, records) : records;
       uint64_t count = 0;
       s = twrs::VerifySortedFile(&env, outputs[j], &count, nullptr);
-      if (!s.ok() || count != records) {
+      if (!s.ok() || count != expected) {
         fprintf(stderr, "twrs_sortd: verify job %llu: %s (count %llu)\n",
                 static_cast<unsigned long long>(j), s.ToString().c_str(),
                 static_cast<unsigned long long>(count));

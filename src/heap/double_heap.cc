@@ -42,6 +42,14 @@ TaggedRecord DoubleHeap::Pop(HeapSide side) {
   return top;
 }
 
+TaggedRecord DoubleHeap::ReplaceTop(HeapSide side, const TaggedRecord& record) {
+  assert(!Empty(side));
+  TaggedRecord evicted = slots_[Slot(side, 0)];
+  slots_[Slot(side, 0)] = record;
+  SiftDown(side, 0);
+  return evicted;
+}
+
 TaggedRecord DoubleHeap::PopLastLeaf(HeapSide side) {
   assert(!Empty(side));
   size_t& n = side == HeapSide::kBottom ? bottom_size_ : top_size_;

@@ -56,6 +56,14 @@ class DoubleHeap {
   /// Removes and returns the root of the given heap.
   TaggedRecord Pop(HeapSide side);
 
+  /// Replaces the root of the given heap with `record` and restores the
+  /// heap property, returning the evicted root. O(log n) with a single
+  /// sift-down — the cap-aware push used by bounded top-K selection: once
+  /// a selector's heap holds K records, every better candidate evicts the
+  /// current boundary element (the root) without changing the heap size.
+  /// Requires the side to be non-empty.
+  TaggedRecord ReplaceTop(HeapSide side, const TaggedRecord& record);
+
   /// Removes an arbitrary leaf (the last slot) of the given heap in O(1).
   /// Used by the Balancing heuristic to migrate records between heaps.
   TaggedRecord PopLastLeaf(HeapSide side);

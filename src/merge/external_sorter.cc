@@ -11,6 +11,7 @@
 #include "io/counting_env.h"
 #include "io/record_io.h"
 #include "merge/sort_phases.h"
+#include "select/topk_sort.h"
 #include "util/stopwatch.h"
 
 namespace twrs {
@@ -117,6 +118,41 @@ Status ExternalSorter::SortInternal(RecordSource* source,
     env.MirrorBytesTo(options_.progress->bytes_read_counter(),
                       options_.progress->bytes_written_counter());
   }
+
+  // Top-K dispatch. The dual-heap strategy replaces the whole run-gen +
+  // merge pipeline with one bounded selection pass; the run-pruning
+  // strategy is the normal pipeline with options_.limit threaded into the
+  // merge plan (see MergePlanningPhase), so it flows through the phase
+  // loop below unchanged.
+  TopKStrategy strategy = TopKStrategy::kAuto;
+  if (options_.limit > 0) {
+    if (range.positioned) {
+      return Status::InvalidArgument(
+          "top-K sorts (limit > 0) cannot write into a positioned range");
+    }
+    strategy = options_.topk_strategy != TopKStrategy::kAuto
+                   ? options_.topk_strategy
+                   : PlanTopKStrategy(options_.limit, options_.memory_records);
+  }
+  if (strategy == TopKStrategy::kDualHeap) {
+    Stopwatch total_watch;
+    ExternalSortResult local;
+    Status s = DualHeapSelectToFile(&env, options_, source, output_path,
+                                    &local);
+    if (!s.ok()) {
+      if (env.watched_created()) {
+        TWRS_IGNORE_STATUS(env.RemoveFile(output_path));  // best-effort
+      }
+      return s;
+    }
+    local.total_seconds = total_watch.ElapsedSeconds();
+    local.topk_strategy = TopKStrategy::kDualHeap;
+    local.bytes_read = env.bytes_read();
+    local.bytes_written = env.bytes_written();
+    if (result != nullptr) *result = local;
+    return Status::OK();
+  }
+
   SortContext context;
   TWRS_RETURN_IF_ERROR(PrepareSortContext(&env, options_, &context));
   context.output_range = range;
@@ -150,6 +186,7 @@ Status ExternalSorter::SortInternal(RecordSource* source,
   }
   context.result.bytes_read = env.bytes_read();
   context.result.bytes_written = env.bytes_written();
+  context.result.topk_strategy = strategy;
   if (result != nullptr) *result = context.result;
   return Status::OK();
 }

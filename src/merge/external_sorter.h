@@ -15,6 +15,7 @@
 #include "merge/merge_plan.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "select/topk.h"
 #include "util/cancel.h"
 #include "util/checksum.h"
 #include "util/status.h"
@@ -91,6 +92,22 @@ struct ExternalSortOptions {
   /// Merge fan-in (§6.1.1; the paper's experiments use 10).
   size_t fan_in = 10;
 
+  /// Top-K selection (the LIMIT of an ORDER BY): when non-zero only
+  /// `limit` records reach the output — the smallest (order == kAscending)
+  /// or largest (kDescending) of the stream, written ascending-sorted
+  /// either way. 0 sorts everything. Top-K sorts must write a whole file:
+  /// SortIntoRange rejects a non-zero limit.
+  uint64_t limit = 0;
+
+  /// Which end of the key domain `limit` keeps. Ignored when limit == 0.
+  SelectOrder order = SelectOrder::kAscending;
+
+  /// Execution strategy for limit > 0. kAuto picks dual-heap selection
+  /// when K fits `memory_records` and the run-pruning merge otherwise;
+  /// the explicit values force a strategy (tests, benchmarks, and
+  /// db_orderby use this to compare them on equal footing).
+  TopKStrategy topk_strategy = TopKStrategy::kAuto;
+
   /// Directory for runs and intermediate merge files (created if missing).
   /// Every Sort call works inside a unique subdirectory of this, so
   /// concurrent sorts — even from different processes — never collide.
@@ -155,6 +172,10 @@ struct ExternalSortResult {
   double merge_seconds = 0.0;
   double total_seconds = 0.0;
   uint64_t output_records = 0;
+
+  /// Strategy that actually executed: kDualHeap or kRunPruningMerge for a
+  /// top-K sort (options.limit > 0), kAuto for a plain full sort.
+  TopKStrategy topk_strategy = TopKStrategy::kAuto;
 
   /// Engine I/O volume: bytes moved through the sorter's Env (runs written
   /// and re-read, intermediate merges, final output). Reads of the input

@@ -1,5 +1,6 @@
 #include "merge/kway_merge.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "merge/loser_tree.h"
@@ -135,7 +136,8 @@ constexpr size_t kSmallMergeFanIn = 8;
 Status MergeSmallFanIn(std::vector<std::unique_ptr<RunCursor>>* cursors,
                        const CancelToken* cancel,
                        const std::function<Status(Key)>& emit,
-                       ProgressCounters* progress) {
+                       ProgressCounters* progress,
+                       const MergeWindow& window) {
   Key keys[kSmallMergeFanIn];
   RunCursor* ways[kSmallMergeFanIn];
   size_t live = 0;
@@ -153,19 +155,26 @@ Status MergeSmallFanIn(std::vector<std::unique_ptr<RunCursor>>* cursors,
                              ? simd::internal::MinIndexNAvx2
                              : simd::internal::MinIndexNScalar;
   uint64_t selections = 0;
+  uint64_t to_skip = window.skip;
+  uint64_t remaining = window.limit;
   Status status = Status::OK();
   {
     BatchedMergeProgress batched(progress);
-    while (live > 0) {
+    while (live > 0 && remaining > 0) {
       if (IsCancelled(cancel)) {
         status = Status::Cancelled("merge cancelled");
         break;
       }
       const size_t idx = min_index(keys, live);
       ++selections;
-      status = emit(keys[idx]);
-      if (!status.ok()) break;
-      batched.Tick();
+      if (to_skip > 0) {
+        --to_skip;
+      } else {
+        status = emit(keys[idx]);
+        if (!status.ok()) break;
+        batched.Tick();
+        --remaining;
+      }
       status = ways[idx]->Next();
       if (!status.ok()) break;
       if (ways[idx]->valid()) {
@@ -188,24 +197,31 @@ Status MergeSmallFanIn(std::vector<std::unique_ptr<RunCursor>>* cursors,
 Status MergeRunCursors(std::vector<std::unique_ptr<RunCursor>>* cursors,
                        const CancelToken* cancel,
                        const std::function<Status(Key)>& emit,
-                       ProgressCounters* progress) {
+                       ProgressCounters* progress, const MergeWindow& window) {
   const size_t k = cursors->size();
   if (k <= kSmallMergeFanIn) {
-    return MergeSmallFanIn(cursors, cancel, emit, progress);
+    return MergeSmallFanIn(cursors, cancel, emit, progress, window);
   }
   LoserTree tree(k);
   for (size_t i = 0; i < k; ++i) {
     if ((*cursors)[i]->valid()) tree.SetInitial(i, (*cursors)[i]->key());
   }
   tree.Build();
+  uint64_t to_skip = window.skip;
+  uint64_t remaining = window.limit;
   BatchedMergeProgress batched(progress);
-  while (!tree.Exhausted()) {
+  while (!tree.Exhausted() && remaining > 0) {
     if (IsCancelled(cancel)) {
       return Status::Cancelled("merge cancelled");
     }
     const size_t w = tree.WinnerIndex();
-    TWRS_RETURN_IF_ERROR(emit(tree.WinnerKey()));
-    batched.Tick();
+    if (to_skip > 0) {
+      --to_skip;
+    } else {
+      TWRS_RETURN_IF_ERROR(emit(tree.WinnerKey()));
+      batched.Tick();
+      --remaining;
+    }
     TWRS_RETURN_IF_ERROR((*cursors)[w]->Next());
     if ((*cursors)[w]->valid()) {
       tree.ReplaceWinner((*cursors)[w]->key());
@@ -237,22 +253,25 @@ Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
   return KWayMerge(env, runs, io, emit);
 }
 
-Status KWayMergeToSink(Env* env, const std::vector<RunInfo>& runs,
-                       const MergeIoOptions& io, MergeSink* sink,
-                       RunInfo* out) {
+Status MergeCursorsToSink(std::vector<std::unique_ptr<RunCursor>>* cursors,
+                          const MergeIoOptions& io, const MergeWindow& window,
+                          MergeSink* sink, RunInfo* out) {
   RecordWriter writer(std::make_unique<MergeSinkFile>(sink), io.block_bytes);
   TWRS_RETURN_IF_ERROR(writer.status());
   bool first = true;
   Key min_key = 0;
   Key max_key = 0;
-  TWRS_RETURN_IF_ERROR(KWayMerge(env, runs, io, [&](Key key) {
-    if (first) {
-      min_key = key;
-      first = false;
-    }
-    max_key = key;
-    return writer.Append(key);
-  }));
+  TWRS_RETURN_IF_ERROR(MergeRunCursors(
+      cursors, io.cancel,
+      [&](Key key) {
+        if (first) {
+          min_key = key;
+          first = false;
+        }
+        max_key = key;
+        return writer.Append(key);
+      },
+      io.progress, window));
   TWRS_RETURN_IF_ERROR(writer.Finish());
   if (out != nullptr) {
     RunInfo info;
@@ -268,6 +287,19 @@ Status KWayMergeToSink(Env* env, const std::vector<RunInfo>& runs,
   return Status::OK();
 }
 
+Status KWayMergeToSink(Env* env, const std::vector<RunInfo>& runs,
+                       const MergeIoOptions& io, MergeSink* sink,
+                       RunInfo* out) {
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  cursors.reserve(runs.size());
+  for (const RunInfo& run : runs) {
+    cursors.push_back(std::make_unique<RunCursor>(env, run, io.block_bytes,
+                                                  io.prefetch_blocks));
+    TWRS_RETURN_IF_ERROR(cursors.back()->Init());
+  }
+  return MergeCursorsToSink(&cursors, io, MergeWindow(), sink, out);
+}
+
 Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
                        const MergeIoOptions& io,
                        const std::string& output_path, RunInfo* out) {
@@ -276,6 +308,40 @@ Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
                                            io.async_buffer_bytes, &sink,
                                            io.flush_histogram));
   TWRS_RETURN_IF_ERROR(KWayMergeToSink(env, runs, io, sink.get(), out));
+  if (out != nullptr) out->segments[0].path = output_path;
+  return Status::OK();
+}
+
+Status KWayMergeLimitToFile(Env* env, const std::vector<RunInfo>& runs,
+                            const MergeIoOptions& io, uint64_t limit,
+                            bool take_last, const std::string& output_path,
+                            RunInfo* out) {
+  if (limit == 0) return KWayMergeToFile(env, runs, io, output_path, out);
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  cursors.reserve(runs.size());
+  uint64_t sliced_total = 0;
+  for (const RunInfo& run : runs) {
+    // Only a run's own first (or last) `limit` records can appear in the
+    // kept window of the merged stream: each is preceded (followed) within
+    // its run by enough records to push the rest out. The clamp is pure
+    // segment metadata — the dropped prefix/suffix is never read.
+    const uint64_t keep = std::min<uint64_t>(run.length, limit);
+    if (keep == 0) continue;
+    const uint64_t skip = take_last ? run.length - keep : 0;
+    cursors.push_back(std::make_unique<RunCursor>(env, run, io.block_bytes,
+                                                  io.prefetch_blocks));
+    TWRS_RETURN_IF_ERROR(cursors.back()->InitSlice(skip, keep));
+    sliced_total += keep;
+  }
+  MergeWindow window;
+  window.limit = limit;
+  if (take_last && sliced_total > limit) window.skip = sliced_total - limit;
+  std::unique_ptr<MergeSink> sink;
+  TWRS_RETURN_IF_ERROR(MakeAppendMergeSink(env, output_path, io.pool,
+                                           io.async_buffer_bytes, &sink,
+                                           io.flush_histogram));
+  TWRS_RETURN_IF_ERROR(MergeCursorsToSink(&cursors, io, window, sink.get(),
+                                          out));
   if (out != nullptr) out->segments[0].path = output_path;
   return Status::OK();
 }

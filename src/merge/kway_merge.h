@@ -100,16 +100,35 @@ class RunCursor {
   bool valid_ = false;
 };
 
+/// No-limit sentinel of MergeWindow: "emit until every cursor drains".
+inline constexpr uint64_t kMergeNoLimit = ~uint64_t{0};
+
+/// Contiguous window of a merged stream: drop the first `skip` records of
+/// the merge order, then emit at most `limit`. The merge loop stops dead
+/// once the window is served — with a limit of K, a top-K merge does k-way
+/// work proportional to skip+K, not to the input volume. Skipped records
+/// are merged (their cursors advance) but never reach emit, the writer, or
+/// progress counters. The default window is the whole stream.
+struct MergeWindow {
+  uint64_t skip = 0;
+  uint64_t limit = kMergeNoLimit;
+
+  bool whole() const { return skip == 0 && limit == kMergeNoLimit; }
+};
+
 /// Runs the loser tree over already-initialized cursors, emitting the
 /// merged non-decreasing key stream. The shared core of KWayMerge and the
 /// partitioned final merge's ranged partial merges. Polls `cancel` (when
 /// non-null) every record. A non-null `progress` receives every emitted
 /// record via AddRecordsMerged, batched so the per-record cost is a local
-/// increment; the remainder is flushed on every exit path.
+/// increment; the remainder is flushed on every exit path. `window`
+/// restricts emission to a slice of the merge order (top-K and clamped
+/// partition merges); both the small-fan-in and loser-tree paths honor it.
 Status MergeRunCursors(std::vector<std::unique_ptr<RunCursor>>* cursors,
                        const CancelToken* cancel,
                        const std::function<Status(Key)>& emit,
-                       ProgressCounters* progress = nullptr);
+                       ProgressCounters* progress = nullptr,
+                       const MergeWindow& window = MergeWindow());
 
 /// Merges `runs` into a single non-decreasing stream delivered to `emit`
 /// (§2.1.2, k-way merge over a loser tree). `io.block_bytes` is the read
@@ -131,6 +150,27 @@ Status KWayMerge(Env* env, const std::vector<RunInfo>& runs,
 Status KWayMergeToSink(Env* env, const std::vector<RunInfo>& runs,
                        const MergeIoOptions& io, MergeSink* sink,
                        RunInfo* out);
+
+/// Merges already-initialized (possibly sliced) cursors into `sink`,
+/// emitting only `window` of the merge order. The record-encoding core
+/// shared by KWayMergeToSink, the limit-aware merges, and the pruned
+/// final merge; same sink/out contract as KWayMergeToSink.
+Status MergeCursorsToSink(std::vector<std::unique_ptr<RunCursor>>* cursors,
+                          const MergeIoOptions& io, const MergeWindow& window,
+                          MergeSink* sink, RunInfo* out);
+
+/// Top-K merge pass: merges `runs` into `output_path` keeping only the
+/// first (take_last = false) or last (take_last = true) `limit` records of
+/// the merged stream. Before merging, each input cursor is clamped to the
+/// `limit`-record prefix (or suffix) of its run using segment metadata
+/// only — no record of a run beyond its own first/last K can survive any
+/// superset merge, so the rest is never read. A limit of 0 means no limit
+/// (plain KWayMergeToFile). Intermediate merge passes of a limited sort
+/// use this, so every pass writes at most `limit` records.
+Status KWayMergeLimitToFile(Env* env, const std::vector<RunInfo>& runs,
+                            const MergeIoOptions& io, uint64_t limit,
+                            bool take_last, const std::string& output_path,
+                            RunInfo* out);
 
 /// Convenience overload merging into a record file at `output_path`
 /// through an AppendMergeSink (async-flushed when io.pool is set);

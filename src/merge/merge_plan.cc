@@ -89,14 +89,16 @@ Status MergeRuns(Env* env, std::vector<RunInfo> runs,
 
     for (LeafMerge& leaf : level) {
       if (parallel) {
-        leaf.handle = options.pool->Submit([env, &leaf, &io] {
-          return KWayMergeToFile(env, leaf.inputs, io, leaf.output_path,
-                                 &leaf.merged);
+        leaf.handle = options.pool->Submit([env, &leaf, &io, &options] {
+          return KWayMergeLimitToFile(env, leaf.inputs, io, options.limit,
+                                      options.limit_last, leaf.output_path,
+                                      &leaf.merged);
         });
       } else {
         TWRS_RETURN_IF_ERROR(
-            KWayMergeToFile(env, leaf.inputs, io, leaf.output_path,
-                            &leaf.merged));
+            KWayMergeLimitToFile(env, leaf.inputs, io, options.limit,
+                                 options.limit_last, leaf.output_path,
+                                 &leaf.merged));
       }
     }
     if (parallel) {
@@ -133,10 +135,16 @@ Status MergeRuns(Env* env, std::vector<RunInfo> runs,
   final_spec.sample_size = options.final_sample_size;
   final_spec.sample_seed = options.final_sample_seed;
   final_spec.pool = options.pool;
+  final_spec.limit = options.limit;
+  final_spec.take_last = options.limit_last;
+  MergePruneStats prune;
+  final_spec.prune = &prune;
   TWRS_RETURN_IF_ERROR(FinalMergeToOutput(env, final_batch, io, final_spec,
                                           output_path, &final_run));
   ++local.merge_steps;
   local.records_written += final_run.length;
+  local.runs_pruned = prune.runs_pruned;
+  local.records_pruned = prune.records_pruned;
   if (options.remove_inputs) {
     for (const RunInfo& run : final_batch) {
       TWRS_RETURN_IF_ERROR(RemoveRunFiles(env, run));

@@ -79,6 +79,17 @@ struct MergeOptions {
   /// When non-null, every flush of a merge output file records its wall
   /// time here. Must outlive the merge.
   LatencyHistogram* flush_histogram = nullptr;
+
+  /// Top-K: when non-zero every merge pass keeps only `limit` records of
+  /// its merged stream — the first (limit_last = false) or the last
+  /// (limit_last = true). Intermediate passes clamp each input run to the
+  /// K-record prefix/suffix that can still matter (metadata-only) and the
+  /// final pass additionally prunes whole runs via sampled key bounds, so
+  /// a limited merge reads strictly less than a full one whenever pruning
+  /// bites. The output is the same bytes a full merge followed by
+  /// head/tail truncation would produce.
+  uint64_t limit = 0;
+  bool limit_last = false;
 };
 
 /// Merge-phase statistics.
@@ -86,6 +97,13 @@ struct MergeStats {
   uint64_t merge_steps = 0;      ///< k-way merge operations performed
   uint64_t records_written = 0;  ///< total records written (I/O volume proxy)
   uint64_t intermediate_runs = 0;
+
+  /// Limited (top-K) merges only: runs the final pass never opened, and
+  /// records its pruning excluded from the merge. (Intermediate passes
+  /// prune too; their savings surface directly in bytes_read.) Both 0 for
+  /// a full merge.
+  uint64_t runs_pruned = 0;
+  uint64_t records_pruned = 0;
 };
 
 /// Repeatedly performs fan-in-way merges until a single sorted sequence

@@ -26,6 +26,15 @@ struct MergeOutputRange {
   uint64_t length = 0;  ///< exact bytes the merge must produce
 };
 
+/// What a limited (top-K) final merge avoided: whole runs never opened
+/// because pruning proved they cannot reach the kept window, and records
+/// excluded from the merge by slicing or partition pruning — records that
+/// were never read, which is where the I/O savings come from.
+struct MergePruneStats {
+  uint64_t runs_pruned = 0;
+  uint64_t records_pruned = 0;
+};
+
 /// Configuration of one final merge step (the last pass of MergeRuns).
 struct FinalMergeSpec {
   MergeOutputRange range;
@@ -41,6 +50,19 @@ struct FinalMergeSpec {
 
   /// Pool the partial merges (and their sinks' background flushes) run on.
   ThreadPool* pool = nullptr;
+
+  /// Top-K: when non-zero only `limit` records are written — the first of
+  /// the merged stream (take_last = false) or the last (take_last = true).
+  /// The serial path prunes whole runs whose sampled key bounds put them
+  /// past the K-th record and clamps the rest to the K-record prefix or
+  /// suffix that can still matter; the partitioned path drops partitions
+  /// wholly outside the kept window and clamps the straddling one. In
+  /// positioned mode range.length must equal min(limit, total) records.
+  uint64_t limit = 0;
+  bool take_last = false;
+
+  /// Receives what a limited merge pruned, when non-null.
+  MergePruneStats* prune = nullptr;
 };
 
 /// Computes, for each splitter, how many records of `run` hold keys

@@ -1,5 +1,6 @@
 #include "merge/sort_phases.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/run_generator.h"
@@ -213,6 +214,11 @@ Status MergePlanningPhase::Run(SortContext* context) {
   plan.output_range = context->output_range;
   plan.cancel = context->cancel;
   plan.progress = context->progress;
+  // Top-K (run-pruning strategy): every merge pass keeps only the limit
+  // records that can reach the output — the stream's smallest for an
+  // ascending selection, its largest for a descending one.
+  plan.limit = options.limit;
+  plan.limit_last = options.order == SelectOrder::kDescending;
   if (context->metrics != nullptr) {
     plan.flush_histogram =
         context->metrics->Histogram("merge_sink.flush_seconds");
@@ -224,6 +230,7 @@ Status MergePlanningPhase::Run(SortContext* context) {
 }
 
 Status FinalMergePhase::Run(SortContext* context) {
+  const ExternalSortOptions& options = *context->options;
   if (context->progress != nullptr) {
     context->progress->AdvancePhase(SortProgressPhase::kFinalMerge);
   }
@@ -235,11 +242,20 @@ Status FinalMergePhase::Run(SortContext* context) {
   if (context->metrics != nullptr) {
     context->metrics->Histogram("sort.final_merge_seconds")
         ->RecordSeconds(context->result.merge_seconds);
+    if (options.limit > 0) {
+      context->metrics->Counter("select.run_pruned_merges")->Increment();
+      context->metrics->Counter("select.runs_pruned")
+          ->Increment(context->result.merge.runs_pruned);
+      context->metrics->Counter("select.records_pruned")
+          ->Increment(context->result.merge.records_pruned);
+    }
     // Mirror the per-kernel dispatch counters so the job's registry shows
     // which simd paths this sort actually executed.
     simd::PublishKernelCounters(context->metrics);
   }
-  context->result.output_records = context->result.run_gen.total_records;
+  const uint64_t total = context->result.run_gen.total_records;
+  context->result.output_records =
+      options.limit > 0 ? std::min<uint64_t>(options.limit, total) : total;
   return Status::OK();
 }
 

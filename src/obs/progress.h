@@ -42,6 +42,12 @@ struct JobProgress {
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
   uint64_t total_records = 0;  ///< Expected input records; 0 if unknown.
+
+  /// Expected output records; 0 if unknown. Equals total_records for a
+  /// full sort but only K for a top-K job (spec.sort.limit), so status
+  /// displays can report merge progress against the records the job will
+  /// actually write rather than the input size.
+  uint64_t total_output_records = 0;
 };
 
 /// Live progress counters for one sort job, updated from the hot paths
@@ -71,6 +77,9 @@ class ProgressCounters {
   void set_total_records(uint64_t n) {
     total_.store(n, std::memory_order_relaxed);
   }
+  void set_total_output_records(uint64_t n) {
+    out_total_.store(n, std::memory_order_relaxed);
+  }
 
   /// Monotonic-max phase advance: concurrent shards may report different
   /// phases; the furthest one wins and the phase never moves backwards.
@@ -91,6 +100,7 @@ class ProgressCounters {
     p.bytes_read = read_.load(std::memory_order_relaxed);
     p.bytes_written = written_.load(std::memory_order_relaxed);
     p.total_records = total_.load(std::memory_order_relaxed);
+    p.total_output_records = out_total_.load(std::memory_order_relaxed);
     return p;
   }
 
@@ -100,6 +110,7 @@ class ProgressCounters {
   std::atomic<uint64_t> read_{0};
   std::atomic<uint64_t> written_{0};
   std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> out_total_{0};
   std::atomic<uint32_t> phase_{0};
 };
 

@@ -1,0 +1,53 @@
+#include "select/dual_heap_selector.h"
+
+#include <algorithm>
+
+namespace twrs {
+
+DualHeapSelector::DualHeapSelector(size_t capacity, SelectOrder order)
+    : capacity_(capacity),
+      order_(order),
+      // Ascending selection keeps the K smallest: the Bottom side's
+      // max-heap root is the worst kept record. Descending mirrors it.
+      side_(order == SelectOrder::kAscending ? HeapSide::kBottom
+                                             : HeapSide::kTop),
+      heap_(capacity) {}
+
+void DualHeapSelector::Add(Key key) {
+  ++consumed_;
+  if (capacity_ == 0) return;
+  const TaggedRecord record{key, 0};
+  if (heap_.size() < capacity_) {
+    heap_.Push(side_, record);
+    return;
+  }
+  // Strict comparison: an incoming key equal to the bound cannot improve
+  // the selection (records are bare keys), so ties never churn the heap.
+  const bool beats_bound = order_ == SelectOrder::kAscending
+                               ? key < heap_.Top(side_).key
+                               : key > heap_.Top(side_).key;
+  if (beats_bound) heap_.ReplaceTop(side_, record);
+}
+
+std::vector<Key> DualHeapSelector::Take() {
+  std::vector<Key> keys;
+  keys.reserve(heap_.size());
+  // Bottom (max-heap) pops descending; Top (min-heap) pops ascending.
+  while (!heap_.Empty(side_)) keys.push_back(heap_.Pop(side_).key);
+  if (order_ == SelectOrder::kAscending) {
+    std::reverse(keys.begin(), keys.end());
+  }
+  consumed_ = 0;
+  return keys;
+}
+
+void SelectTopK(RecordSource* source, size_t k, SelectOrder order,
+                std::vector<Key>* out, uint64_t* consumed) {
+  DualHeapSelector selector(k, order);
+  Key key = 0;
+  while (source->Next(&key)) selector.Add(key);
+  if (consumed != nullptr) *consumed = selector.consumed();
+  *out = selector.Take();
+}
+
+}  // namespace twrs

@@ -1,0 +1,31 @@
+#ifndef TWRS_SELECT_TOPK_SORT_H_
+#define TWRS_SELECT_TOPK_SORT_H_
+
+#include <string>
+
+#include "core/record_source.h"
+#include "io/env.h"
+#include "merge/external_sorter.h"
+#include "util/status.h"
+
+namespace twrs {
+
+/// The TopKStrategy::kDualHeap execution path: streams `source` once
+/// through a DualHeapSelector of capacity `options.limit` and writes the
+/// selection — ascending-sorted, byte-identical to a full sort truncated
+/// to its first (kAscending) or last (kDescending) K records — to
+/// `output_path`. No runs, no merge, no scratch files; the only engine
+/// I/O is the output write, so `env` should be the sorter's CountingEnv.
+///
+/// Fills `result` like a sort: run_gen.total_records is the stream
+/// length, output_records the selection size, run_gen_seconds the
+/// streaming time. Honors options.cancel/progress/metrics (records
+/// select.dual_heap_sorts and select.selection_seconds).
+Status DualHeapSelectToFile(Env* env, const ExternalSortOptions& options,
+                            RecordSource* source,
+                            const std::string& output_path,
+                            ExternalSortResult* result);
+
+}  // namespace twrs
+
+#endif  // TWRS_SELECT_TOPK_SORT_H_

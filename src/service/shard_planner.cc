@@ -25,8 +25,22 @@ const char* ShardPlanLimitName(ShardPlanLimit limit) {
       return "max-shards";
     case ShardPlanLimit::kFixedByCaller:
       return "fixed";
+    case ShardPlanLimit::kTopKSelection:
+      return "top-k-selection";
   }
   return "?";
+}
+
+size_t PlanTopKLeaseRecords(uint64_t limit, size_t nominal_memory_records) {
+  if (limit == 0) return nominal_memory_records;
+  // Floor: one block of I/O buffer either side of the selector still needs
+  // backing even for K = 1, and a lease this small admits immediately
+  // under any sane budget anyway.
+  constexpr size_t kMinTopKLeaseRecords = 8192;
+  const size_t ask = static_cast<size_t>(
+      std::min<uint64_t>(limit, nominal_memory_records));
+  return std::min(nominal_memory_records,
+                  std::max(ask, kMinTopKLeaseRecords));
 }
 
 ShardPlan PlanShardCount(const ShardPlanInputs& inputs) {

@@ -32,6 +32,7 @@ enum class ShardPlanLimit {
   kExecutorLoad,       ///< clipped to the executor's free workers
   kMaxShards,          ///< clipped to the configured ceiling
   kFixedByCaller,      ///< the planner never ran: the spec pinned a count
+  kTopKSelection,      ///< 1 shard: a top-K job runs unsharded by design
 };
 
 const char* ShardPlanLimitName(ShardPlanLimit limit);
@@ -62,6 +63,15 @@ struct ShardPlan {
 /// and the configured ceiling. Free workers the shard count did not claim
 /// are spread over the shards' final merge passes (final_merge_threads).
 ShardPlan PlanShardCount(const ShardPlanInputs& inputs);
+
+/// Selection-aware admission ask for a top-K job: a job that will run the
+/// bounded dual-heap selector holds K records of heap plus I/O buffers,
+/// not the nominal run-generation budget, so asking the governor for
+/// min(nominal, max(K, floor)) lets small-K jobs admit long before a full
+/// sort could. A K at or above the nominal ask changes nothing — the job
+/// will run the run-pruning merge with the normal budget. `limit` == 0
+/// (not a top-K job) returns the nominal ask unchanged.
+size_t PlanTopKLeaseRecords(uint64_t limit, size_t nominal_memory_records);
 
 }  // namespace twrs
 

@@ -257,10 +257,14 @@ void SortService::SchedulerLoop() {
 
     // Admission: block for a (possibly shrunk) memory lease. FIFO both
     // here and inside the governor, so job order is submission order.
+    // Top-K jobs ask selection-aware: a bounded dual-heap selection holds
+    // K records, not the nominal run-generation budget, so small-K jobs
+    // admit ahead of what a full sort's ask would allow.
+    const size_t ask = PlanTopKLeaseRecords(job->spec.sort.limit,
+                                            job->spec.sort.memory_records);
     MemoryLease lease;
     Stopwatch reserve_watch;
-    Status reserve_status = governor_.Reserve(job->spec.sort.memory_records,
-                                              &lease, &job->cancel);
+    Status reserve_status = governor_.Reserve(ask, &lease, &job->cancel);
     if (metrics_ != nullptr) {
       metrics_->Histogram("service.admission_reserve_seconds")
           ->RecordSeconds(reserve_watch.ElapsedSeconds());
@@ -294,12 +298,23 @@ void SortService::SchedulerLoop() {
     // so it simply plans a single shard.
     uint64_t input_bytes = 0;
     TWRS_IGNORE_STATUS(env_->GetFileSize(job->spec.input_path, &input_bytes));
-    job->progress.set_total_records(input_bytes / kRecordBytes);
+    const uint64_t input_records = input_bytes / kRecordBytes;
+    job->progress.set_total_records(input_records);
+    job->progress.set_total_output_records(
+        job->spec.sort.limit > 0
+            ? std::min<uint64_t>(job->spec.sort.limit, input_records)
+            : input_records);
 
     // Plan step: fixed shard count from the spec, or adaptive from input
     // size, the lease actually granted and the executor's current load.
+    // Top-K jobs run unsharded regardless (per-shard outputs are disjoint
+    // ranges of a fixed-size file, which a K-record output is not), so the
+    // limit overrides even a pinned spec count.
     ShardPlan plan;
-    if (job->spec.shards != kAutoShards) {
+    if (job->spec.sort.limit > 0) {
+      plan.shards = 1;
+      plan.limit = ShardPlanLimit::kTopKSelection;
+    } else if (job->spec.shards != kAutoShards) {
       plan.shards = job->spec.shards;
       plan.limit = ShardPlanLimit::kFixedByCaller;
     } else {
@@ -314,7 +329,7 @@ void SortService::SchedulerLoop() {
 
     {
       MutexLock lock(&mu_);
-      if (lease.records() < job->spec.sort.memory_records) {
+      if (lease.records() < ask) {
         ++stats_.shrunk_admissions;
       }
       ++running_;

@@ -25,6 +25,13 @@ Status ShardedSorter::Validate() const {
   if (options_.sample_size < 1) {
     return Status::InvalidArgument("sample_size must be at least 1");
   }
+  if (options_.shards > 1 && options_.sort.limit > 0) {
+    // A top-K sort writes min(K, N) records, not N, so the range-disjoint
+    // per-shard output layout cannot apply. The service plans top-K jobs
+    // at 1 shard (ShardPlanLimit::kTopKSelection) for the same reason.
+    return Status::InvalidArgument(
+        "top-K sorts (limit > 0) run unsharded; plan 1 shard");
+  }
   return Status::OK();
 }
 
@@ -40,7 +47,9 @@ Status ShardedSorter::SortUnsharded(RecordSource* source,
   ExternalSorter sorter(env_, sort_options);
   ExternalSortResult sort_result;
   TWRS_RETURN_IF_ERROR(sorter.Sort(source, output_path, &sort_result));
-  local.input_records = sort_result.output_records;
+  // For a top-K sort the output is smaller than the input; report both
+  // truthfully (they coincide for a full sort).
+  local.input_records = sort_result.run_gen.total_records;
   local.output_records = sort_result.output_records;
   local.bytes_read = sort_result.bytes_read;
   local.bytes_written = sort_result.bytes_written;

@@ -119,6 +119,72 @@ TEST(DoubleHeapTest, PopLastLeafShrinksSide) {
   EXPECT_TRUE(leaf.key >= 1 && leaf.key <= 3);
 }
 
+TEST(DoubleHeapTest, ReplaceTopEvictsBottomRoot) {
+  DoubleHeap heap(8);
+  for (Key k : {3, 1, 4, 1, 5}) heap.Push(HeapSide::kBottom, R(k));
+  // Bottom is a max-heap: the root is 5; replacing it with 2 returns it.
+  const TaggedRecord evicted = heap.ReplaceTop(HeapSide::kBottom, R(2));
+  EXPECT_EQ(evicted.key, 5);
+  EXPECT_TRUE(heap.IsValid());
+  EXPECT_EQ(heap.Top(HeapSide::kBottom).key, 4);
+  EXPECT_EQ(heap.SideSize(HeapSide::kBottom), 5u);  // size unchanged
+  std::vector<Key> out;
+  while (!heap.Empty(HeapSide::kBottom)) {
+    out.push_back(heap.Pop(HeapSide::kBottom).key);
+  }
+  EXPECT_EQ(out, std::vector<Key>({4, 3, 2, 1, 1}));
+}
+
+TEST(DoubleHeapTest, ReplaceTopEvictsTopRoot) {
+  DoubleHeap heap(8);
+  for (Key k : {30, 10, 40, 20}) heap.Push(HeapSide::kTop, R(k));
+  // Top is a min-heap: the root is 10; the replacement may itself become
+  // the new root.
+  EXPECT_EQ(heap.ReplaceTop(HeapSide::kTop, R(5)).key, 10);
+  EXPECT_TRUE(heap.IsValid());
+  EXPECT_EQ(heap.Top(HeapSide::kTop).key, 5);
+  // And one that sinks past the root.
+  EXPECT_EQ(heap.ReplaceTop(HeapSide::kTop, R(35)).key, 5);
+  EXPECT_TRUE(heap.IsValid());
+  std::vector<Key> out;
+  while (!heap.Empty(HeapSide::kTop)) {
+    out.push_back(heap.Pop(HeapSide::kTop).key);
+  }
+  EXPECT_EQ(out, std::vector<Key>({20, 30, 35, 40}));
+}
+
+TEST(DoubleHeapTest, ReplaceTopLeavesOtherSideIntact) {
+  DoubleHeap heap(8);
+  for (Key k : {1, 2, 3}) heap.Push(HeapSide::kBottom, R(k));
+  for (Key k : {10, 20, 30}) heap.Push(HeapSide::kTop, R(k));
+  EXPECT_EQ(heap.ReplaceTop(HeapSide::kBottom, R(0)).key, 3);
+  EXPECT_EQ(heap.ReplaceTop(HeapSide::kTop, R(40)).key, 10);
+  EXPECT_TRUE(heap.IsValid());
+  EXPECT_EQ(heap.SideSize(HeapSide::kBottom), 3u);
+  EXPECT_EQ(heap.SideSize(HeapSide::kTop), 3u);
+  EXPECT_EQ(heap.Top(HeapSide::kBottom).key, 2);
+  EXPECT_EQ(heap.Top(HeapSide::kTop).key, 20);
+}
+
+TEST(DoubleHeapTest, RandomizedReplaceTopKeepsInvariants) {
+  Random rng(79);
+  DoubleHeap heap(32);
+  while (!heap.Full()) {
+    const HeapSide side = rng.OneIn2() ? HeapSide::kBottom : HeapSide::kTop;
+    heap.Push(side, R(static_cast<Key>(rng.Uniform(1000))));
+  }
+  for (int step = 0; step < 2000; ++step) {
+    const HeapSide side = rng.OneIn2() ? HeapSide::kBottom : HeapSide::kTop;
+    if (heap.Empty(side)) continue;
+    const Key root = heap.Top(side).key;
+    const TaggedRecord evicted =
+        heap.ReplaceTop(side, R(static_cast<Key>(rng.Uniform(1000))));
+    ASSERT_EQ(evicted.key, root) << "step " << step;
+    ASSERT_TRUE(heap.IsValid()) << "step " << step;
+  }
+  EXPECT_EQ(heap.size(), heap.capacity());  // replace never changes size
+}
+
 TEST(DoubleHeapTest, HeapSideNames) {
   EXPECT_STREQ(HeapSideName(HeapSide::kBottom), "Bottom");
   EXPECT_STREQ(HeapSideName(HeapSide::kTop), "Top");

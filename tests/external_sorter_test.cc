@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <tuple>
 
 #include "core/load_sort_store.h"
 #include "io/mem_env.h"
+#include "util/random.h"
 #include "simd/dispatch.h"
 #include "tests/test_util.h"
 #include "workload/generators.h"
@@ -509,6 +511,283 @@ TEST(ExternalSorterTest, ReportsEngineIoVolume) {
   // 2x the input volume out, at least 1x back in.
   EXPECT_GE(result.bytes_written, 2 * input_bytes);
   EXPECT_GE(result.bytes_read, input_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Top-K selection (options.limit): every strategy must produce output
+// byte-identical to a full sort truncated to the requested end.
+
+/// The reference a LIMIT plan must match: full sort, keep K from the
+/// requested end, ascending.
+std::vector<Key> TruncatedReference(std::vector<Key> input, uint64_t k,
+                                    SelectOrder order) {
+  std::sort(input.begin(), input.end());
+  k = std::min<uint64_t>(k, input.size());
+  if (order == SelectOrder::kAscending) {
+    input.resize(k);
+  } else {
+    input.erase(input.begin(), input.end() - static_cast<ptrdiff_t>(k));
+  }
+  return input;
+}
+
+ExternalSortOptions TopKTestOptions() {
+  ExternalSortOptions options;
+  options.memory_records = 128;
+  options.twrs = TwoWayOptions::Recommended(128, 3);
+  options.fan_in = 4;  // multiple merge passes: intermediate clamps too
+  options.temp_dir = "tmp";
+  options.block_bytes = 512;
+  return options;
+}
+
+TEST(ExternalSorterTopKTest, EveryStrategyMatchesFullSortTruncation) {
+  MemEnv env;
+  WorkloadOptions wl;
+  wl.num_records = 5000;
+  wl.seed = 31;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+
+  const uint64_t limits[] = {1, 37, 500, 2500, 5000, 9999};
+  const TopKStrategy strategies[] = {TopKStrategy::kAuto,
+                                     TopKStrategy::kDualHeap,
+                                     TopKStrategy::kRunPruningMerge};
+  for (SelectOrder order :
+       {SelectOrder::kAscending, SelectOrder::kDescending}) {
+    for (uint64_t limit : limits) {
+      const auto reference = TruncatedReference(input, limit, order);
+      for (TopKStrategy strategy : strategies) {
+        ExternalSortOptions options = TopKTestOptions();
+        options.limit = limit;
+        options.order = order;
+        options.topk_strategy = strategy;
+        ExternalSorter sorter(&env, options);
+        VectorSource source(input);
+        ExternalSortResult result;
+        SCOPED_TRACE(std::string(TopKStrategyName(strategy)) + "/" +
+                     SelectOrderName(order) + "/K=" + std::to_string(limit));
+        ASSERT_TWRS_OK(sorter.Sort(&source, "out", &result));
+        EXPECT_EQ(result.output_records, reference.size());
+        EXPECT_NE(result.topk_strategy, TopKStrategy::kAuto);
+
+        std::vector<Key> got;
+        ASSERT_TWRS_OK(ReadAllRecords(&env, "out", &got));
+        EXPECT_EQ(got, reference);
+        EXPECT_EQ(env.FileCount(), 1u);  // scratch cleaned up
+        ASSERT_TWRS_OK(env.RemoveFile("out"));
+      }
+    }
+  }
+}
+
+TEST(ExternalSorterTopKTest, AutoPlansDualHeapOnlyWhenKFitsMemory) {
+  MemEnv env;
+  WorkloadOptions wl;
+  wl.num_records = 3000;
+  wl.seed = 32;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+  for (uint64_t limit : {uint64_t{64}, uint64_t{2000}}) {
+    ExternalSortOptions options = TopKTestOptions();  // memory_records = 128
+    options.limit = limit;
+    ExternalSorter sorter(&env, options);
+    VectorSource source(input);
+    ExternalSortResult result;
+    ASSERT_TWRS_OK(sorter.Sort(&source, "out", &result));
+    EXPECT_EQ(result.topk_strategy, limit <= options.memory_records
+                                        ? TopKStrategy::kDualHeap
+                                        : TopKStrategy::kRunPruningMerge);
+    ASSERT_TWRS_OK(env.RemoveFile("out"));
+  }
+}
+
+TEST(ExternalSorterTopKTest, DualHeapDoesNoRunIo) {
+  MemEnv env;
+  WorkloadOptions wl;
+  wl.num_records = 4000;
+  wl.seed = 33;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+  ExternalSortOptions options = TopKTestOptions();
+  options.limit = 50;
+  options.topk_strategy = TopKStrategy::kDualHeap;
+  ExternalSorter sorter(&env, options);
+  VectorSource source(input);
+  ExternalSortResult result;
+  ASSERT_TWRS_OK(sorter.Sort(&source, "out", &result));
+  EXPECT_EQ(result.run_gen.num_runs(), 0u);
+  EXPECT_EQ(result.bytes_read, 0u);  // streamed source, no scratch reads
+  EXPECT_EQ(result.bytes_written, 50u * kRecordBytes);
+  EXPECT_EQ(result.run_gen.total_records, input.size());
+}
+
+TEST(ExternalSorterTopKTest, RunPruningMergeReadsStrictlyFewerBytes) {
+  // The acceptance pin: with the same input, memory and merge schedule, a
+  // run-pruned merge must read strictly fewer bytes than the full sort —
+  // run slices clamp what each cursor fetches, and sampled bounds prune
+  // whole runs without ever opening them. bytes_read comes from the
+  // sorter's internal CountingEnv. Ascending-trend input with local
+  // shuffle (a scan of a roughly time-ordered table): runs cover narrow,
+  // mostly disjoint key bands, so for a small K nearly every run sits
+  // entirely above the selection bound.
+  MemEnv env;
+  std::vector<Key> input;
+  Random rng(34);
+  for (Key band = 0; band < 13; ++band) {
+    for (int i = 0; i < 4096; ++i) {
+      input.push_back(band * 1000000 +
+                      static_cast<Key>(rng.Uniform(1000000)));
+    }
+  }
+
+  ExternalSortOptions options = TopKTestOptions();
+  options.memory_records = 1024;
+  options.twrs = TwoWayOptions::Recommended(1024, 3);
+  options.fan_in = 128;  // single merge pass over every run
+  ExternalSortResult full;
+  {
+    ExternalSorter sorter(&env, options);
+    VectorSource source(input);
+    ASSERT_TWRS_OK(sorter.Sort(&source, "out_full", &full));
+  }
+
+  options.limit = 100;
+  options.topk_strategy = TopKStrategy::kRunPruningMerge;
+  ExternalSortResult pruned;
+  {
+    ExternalSorter sorter(&env, options);
+    VectorSource source(input);
+    ASSERT_TWRS_OK(sorter.Sort(&source, "out_topk", &pruned));
+  }
+
+  EXPECT_LT(pruned.bytes_read, full.bytes_read);
+  EXPECT_LT(pruned.bytes_written, full.bytes_written);
+  EXPECT_GE(pruned.merge.runs_pruned, 1u);
+  EXPECT_GT(pruned.merge.records_pruned, 0u);
+
+  std::vector<Key> got;
+  ASSERT_TWRS_OK(ReadAllRecords(&env, "out_topk", &got));
+  EXPECT_EQ(got, TruncatedReference(input, 100, SelectOrder::kAscending));
+}
+
+TEST(ExternalSorterTopKTest, PartitionedFinalMergeHonorsTheLimit) {
+  MemEnv env;
+  WorkloadOptions wl;
+  wl.num_records = 20000;
+  wl.seed = 35;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+  for (SelectOrder order :
+       {SelectOrder::kAscending, SelectOrder::kDescending}) {
+    ExternalSortOptions options = TopKTestOptions();
+    options.fan_in = 128;  // all runs reach the final merge
+    options.limit = 3000;
+    options.order = order;
+    options.topk_strategy = TopKStrategy::kRunPruningMerge;
+    options.parallel.worker_threads = 4;
+    options.parallel.final_merge_threads = 4;
+    ExternalSorter sorter(&env, options);
+    VectorSource source(input);
+    ExternalSortResult result;
+    ASSERT_TWRS_OK(sorter.Sort(&source, "out", &result));
+    std::vector<Key> got;
+    ASSERT_TWRS_OK(ReadAllRecords(&env, "out", &got));
+    EXPECT_EQ(got, TruncatedReference(input, 3000, order))
+        << SelectOrderName(order);
+    ASSERT_TWRS_OK(env.RemoveFile("out"));
+  }
+}
+
+TEST(ExternalSorterTopKTest, ForcedScalarSimdIsByteIdentical) {
+  MemEnv env;
+  WorkloadOptions wl;
+  wl.num_records = 10000;
+  wl.seed = 36;
+  auto input = Drain(MakeWorkload(Dataset::kAlternating, wl).get());
+
+  ExternalSortOptions options = TopKTestOptions();
+  options.limit = 700;
+  options.topk_strategy = TopKStrategy::kRunPruningMerge;
+
+  simd::ForceScalar(false);
+  {
+    ExternalSorter sorter(&env, options);
+    VectorSource source(input);
+    ASSERT_TWRS_OK(sorter.Sort(&source, "out_simd", nullptr));
+  }
+  simd::ForceScalar(true);
+  {
+    ExternalSorter sorter(&env, options);
+    VectorSource source(input);
+    ASSERT_TWRS_OK(sorter.Sort(&source, "out_scalar", nullptr));
+  }
+  simd::ClearForceScalarOverride();
+
+  const std::vector<uint8_t>* simd_bytes = env.FileContents("out_simd");
+  const std::vector<uint8_t>* scalar_bytes = env.FileContents("out_scalar");
+  ASSERT_NE(simd_bytes, nullptr);
+  ASSERT_NE(scalar_bytes, nullptr);
+  EXPECT_EQ(simd_bytes->size(), 700u * kRecordBytes);
+  EXPECT_TRUE(*simd_bytes == *scalar_bytes);
+}
+
+TEST(ExternalSorterTopKTest, LimitOnEmptyAndTinyInputs) {
+  MemEnv env;
+  for (TopKStrategy strategy :
+       {TopKStrategy::kDualHeap, TopKStrategy::kRunPruningMerge}) {
+    ExternalSortOptions options = TopKTestOptions();
+    options.limit = 10;
+    options.topk_strategy = strategy;
+    ExternalSorter sorter(&env, options);
+    {
+      VectorSource source({});
+      ExternalSortResult result;
+      ASSERT_TWRS_OK(sorter.Sort(&source, "out", &result));
+      EXPECT_EQ(result.output_records, 0u);
+      std::vector<Key> got;
+      ASSERT_TWRS_OK(ReadAllRecords(&env, "out", &got));
+      EXPECT_TRUE(got.empty());
+    }
+    {
+      VectorSource source({3, 1, 2});
+      ExternalSortResult result;
+      ASSERT_TWRS_OK(sorter.Sort(&source, "out", &result));
+      EXPECT_EQ(result.output_records, 3u);
+      std::vector<Key> got;
+      ASSERT_TWRS_OK(ReadAllRecords(&env, "out", &got));
+      EXPECT_EQ(got, (std::vector<Key>{1, 2, 3}));
+    }
+    ASSERT_TWRS_OK(env.RemoveFile("out"));
+  }
+}
+
+TEST(ExternalSorterTopKTest, SortIntoRangeRejectsLimit) {
+  MemEnv env;
+  ExternalSortOptions options = TopKTestOptions();
+  options.limit = 10;
+  ExternalSorter sorter(&env, options);
+  VectorSource source({3, 1, 2});
+  MergeOutputRange range;
+  range.positioned = true;
+  range.offset = 0;
+  range.length = 3 * kRecordBytes;
+  EXPECT_TRUE(
+      sorter.SortIntoRange(&source, "out", range, nullptr)
+          .IsInvalidArgument());
+}
+
+TEST(ExternalSorterTopKTest, CancelDuringDualHeapSelectionCleansUp) {
+  MemEnv env;
+  WorkloadOptions wl;
+  wl.num_records = 20000;
+  wl.seed = 37;
+  auto input = Drain(MakeWorkload(Dataset::kRandom, wl).get());
+  CancelToken token;
+  ExternalSortOptions options = TopKTestOptions();
+  options.cancel = &token;
+  options.limit = 10;
+  options.topk_strategy = TopKStrategy::kDualHeap;
+  ExternalSorter sorter(&env, options);
+  CancelAfterNSource source(input, 5000, &token);
+  EXPECT_TRUE(sorter.Sort(&source, "out", nullptr).IsCancelled());
+  EXPECT_EQ(env.FileCount(), 0u);
 }
 
 TEST(VerifySortedFileTest, DetectsDisorder) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -122,6 +123,20 @@ TEST(ShardPlannerTest, InMemoryInputKeepsTheFinalMergeSerial) {
   const ShardPlan plan = PlanShardCount(inputs);
   EXPECT_EQ(plan.shards, 1u);
   EXPECT_EQ(plan.final_merge_threads, 1u);
+}
+
+TEST(ShardPlannerTest, TopKLeaseAskShrinksToTheSelectionFootprint) {
+  // Not a top-K job: the nominal ask stands.
+  EXPECT_EQ(PlanTopKLeaseRecords(0, 1 << 16), size_t{1} << 16);
+  // Tiny K still asks for the 8192-record floor, not K records.
+  EXPECT_EQ(PlanTopKLeaseRecords(100, 1 << 16), 8192u);
+  // K between the floor and the nominal ask: ask for exactly K.
+  EXPECT_EQ(PlanTopKLeaseRecords(20000, 1 << 16), 20000u);
+  // K at or above the nominal ask changes nothing.
+  EXPECT_EQ(PlanTopKLeaseRecords(1 << 16, 1 << 16), size_t{1} << 16);
+  EXPECT_EQ(PlanTopKLeaseRecords(1 << 20, 1 << 16), size_t{1} << 16);
+  // The floor never inflates past the nominal ask.
+  EXPECT_EQ(PlanTopKLeaseRecords(10, 100), 100u);
 }
 
 // ---------------------------------------------------------------------------
@@ -582,6 +597,72 @@ TEST(SortServiceTest, JobProgressIsMonotonicAndReachesTotals) {
       service_stats.metrics.FindCounter("service.jobs_completed");
   ASSERT_NE(completed, nullptr);
   EXPECT_EQ(completed->value, 1u);
+}
+
+TEST(SortServiceTest, TopKJobRunsUnshardedWithASmallerLease) {
+  MemEnv env;
+  auto input = WriteWorkload(&env, "in", 50000, 23);
+
+  SortServiceOptions options;
+  options.governor.capacity_records = 1 << 16;
+  SortService service(&env, options);
+
+  // 50000 records over 16384-record memory would auto-plan >= 2 shards;
+  // the limit overrides that and shrinks the lease ask to the 8192 floor.
+  JobHandle handle;
+  SortJobSpec spec = SpecFor("in", "out", 16384);
+  spec.shards = kAutoShards;
+  spec.sort.limit = 100;
+  ASSERT_TWRS_OK(service.Submit(spec, &handle));
+  ASSERT_TWRS_OK(handle.Wait());
+
+  const SortJobStats stats = handle.stats();
+  EXPECT_EQ(stats.plan_limit, ShardPlanLimit::kTopKSelection);
+  EXPECT_EQ(stats.planned_shards, 1u);
+  EXPECT_EQ(stats.nominal_memory_records, 16384u);
+  EXPECT_EQ(stats.granted_memory_records, 8192u);
+  EXPECT_EQ(stats.result.output_records, 100u);
+
+  const JobProgress done = handle.Progress();
+  EXPECT_EQ(done.phase, SortProgressPhase::kComplete);
+  EXPECT_EQ(done.total_records, input.size());
+  EXPECT_EQ(done.total_output_records, 100u);
+
+  // Output is byte-identical to a full sort truncated to the smallest K.
+  std::sort(input.begin(), input.end());
+  input.resize(100);
+  uint64_t count = 0;
+  KeyChecksum sum;
+  ASSERT_TWRS_OK(VerifySortedFile(&env, "out", &count, &sum));
+  EXPECT_EQ(count, 100u);
+  EXPECT_TRUE(sum == ChecksumOf(input));
+}
+
+TEST(SortServiceTest, TopKDescendingJobKeepsTheLargestKeys) {
+  MemEnv env;
+  auto input = WriteWorkload(&env, "in", 5000, 29);
+
+  SortServiceOptions options;
+  options.governor.capacity_records = 1 << 16;
+  SortService service(&env, options);
+
+  JobHandle handle;
+  SortJobSpec spec = SpecFor("in", "out", 128);
+  spec.sort.limit = 50;
+  spec.sort.order = SelectOrder::kDescending;
+  ASSERT_TWRS_OK(service.Submit(spec, &handle));
+  ASSERT_TWRS_OK(handle.Wait());
+
+  EXPECT_EQ(handle.stats().plan_limit, ShardPlanLimit::kTopKSelection);
+  EXPECT_EQ(handle.Progress().total_output_records, 50u);
+
+  std::sort(input.begin(), input.end());
+  input.erase(input.begin(), input.end() - 50);
+  uint64_t count = 0;
+  KeyChecksum sum;
+  ASSERT_TWRS_OK(VerifySortedFile(&env, "out", &count, &sum));
+  EXPECT_EQ(count, 50u);
+  EXPECT_TRUE(sum == ChecksumOf(input));
 }
 
 TEST(SortServiceTest, MetricsCanBeDisabled) {

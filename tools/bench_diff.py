@@ -41,7 +41,14 @@ _MEASUREMENT_FIELDS = {
     "peak_queued",
     "peak_running",
     "speedup",
+    "runs_pruned",
+    "records_pruned",
+    "speedup_vs_full_sort",
 }
+# Deliberately NOT measurements: `limit`, `strategy` and `order`
+# (bench_topk) identify which top-K plan a row measured, so they stay in
+# the match key — a K=400 dual-heap row only ever compares against the
+# same plan in the baseline.
 # Header fields that must agree for two reports to be comparable at all.
 _IDENTITY_FIELDS = ("bench", "profile", "scale", "schema_version")
 
