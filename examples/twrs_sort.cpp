@@ -17,6 +17,11 @@
 //                                     from the shared executor — size it
 //                                     with --executor-threads
 //   --prefetch N                      read-ahead blocks per merge input
+//   --io-backend posix|uring|auto     file I/O backend (default posix).
+//                                     `uring` requires a kernel with
+//                                     io_uring and a TWRS_WITH_URING
+//                                     build and fails loudly otherwise;
+//                                     `auto` degrades to posix silently
 //   --shards N|auto                   range shards sorted concurrently on the
 //                                     shared executor (1 = unsharded, default);
 //                                     `auto` plans the count from the input
@@ -52,7 +57,7 @@
 #include "core/record.h"
 #include "examples/cli_util.h"
 #include "exec/executor.h"
-#include "io/posix_env.h"
+#include "io/env.h"
 #include "merge/external_sorter.h"
 #include "service/shard_planner.h"
 #include "shard/sharded_sorter.h"
@@ -198,6 +203,11 @@ int main(int argc, char** argv) {
       uint64_t v = 0;
       if (!ParseCount(next(), &v) || v > 1024) return Usage();
       options.parallel.prefetch_blocks = v;
+    } else if (arg == "--io-backend") {
+      const char* v = next();
+      if (v == nullptr || !twrs::ParseIoBackend(v, &options.io_backend)) {
+        return Usage();
+      }
     } else if (arg == "--shards") {
       const char* v = next();
       if (v != nullptr && std::string(v) == "auto") {
@@ -263,14 +273,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  twrs::PosixEnv env;
+  // Resolve the I/O backend up front: an explicit `--io-backend uring` on
+  // a kernel or build without io_uring is a configuration error and fails
+  // here with one line, before any file is touched.
+  twrs::IoBackend resolved_backend = twrs::IoBackend::kPosix;
+  {
+    twrs::Status s = twrs::ResolveIoBackend(options.io_backend,
+                                            &resolved_backend);
+    if (!s.ok()) {
+      fprintf(stderr, "twrs_sort: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    if (resolved_backend == twrs::IoBackend::kDefault) {
+      resolved_backend = twrs::IoBackend::kPosix;
+    }
+  }
+  twrs::Env* env = twrs::Env::Default(resolved_backend);
+  options.io_backend = twrs::IoBackend::kDefault;  // env already resolved
+
   if (generate) {
     if (positionals != 1) return Usage();
     twrs::WorkloadOptions workload;
     workload.num_records = records;
     workload.seed = seed;
     twrs::Status s =
-        twrs::WriteWorkloadToFile(&env, dataset, workload, positional[0]);
+        twrs::WriteWorkloadToFile(env, dataset, workload, positional[0]);
     if (!s.ok()) {
       fprintf(stderr, "generate: %s\n", s.ToString().c_str());
       return 1;
@@ -282,6 +309,7 @@ int main(int argc, char** argv) {
   }
 
   if (positionals != 2) return Usage();
+  printf("io backend: %s\n", twrs::IoBackendName(resolved_backend));
   if (options.limit > 0 && (shards > 1 || shards_auto)) {
     fprintf(stderr,
             "--limit runs unsharded; drop --shards (a top-K output is not "
@@ -298,7 +326,7 @@ int main(int argc, char** argv) {
   }
   // Fail on an unusable scratch directory now, with an actionable message,
   // instead of with an I/O error minutes into the sort.
-  twrs::Status s = twrs::PreflightTempDir(&env, options.temp_dir);
+  twrs::Status s = twrs::PreflightTempDir(env, options.temp_dir);
   if (!s.ok()) {
     fprintf(stderr, "twrs_sort: %s\n", s.ToString().c_str());
     return 1;
@@ -306,7 +334,7 @@ int main(int argc, char** argv) {
   if (shards_auto) {
     twrs::ShardPlanInputs plan_inputs;
     uint64_t input_bytes = 0;
-    s = env.GetFileSize(positional[0], &input_bytes);
+    s = env->GetFileSize(positional[0], &input_bytes);
     if (!s.ok()) {
       fprintf(stderr, "twrs_sort: %s\n", s.ToString().c_str());
       return 1;
@@ -344,7 +372,7 @@ int main(int argc, char** argv) {
     sharded.shards = shards;
     sharded.sample_seed = seed;
     sharded.sort = options;
-    twrs::ShardedSorter sorter(&env, sharded);
+    twrs::ShardedSorter sorter(env, sharded);
     twrs::ShardedSortResult result;
     s = sorter.SortFile(positional[0], positional[1], &result);
     if (!s.ok()) {
@@ -358,8 +386,8 @@ int main(int argc, char** argv) {
            result.shard_records.size(), result.split_seconds,
            result.sort_seconds, result.total_seconds);
   } else {
-    twrs::ExternalSorter sorter(&env, options);
-    twrs::FileRecordSource source(&env, positional[0]);
+    twrs::ExternalSorter sorter(env, options);
+    twrs::FileRecordSource source(env, positional[0]);
     twrs::ExternalSortResult result;
     s = sorter.Sort(&source, positional[1], &result);
     if (!s.ok()) {
@@ -395,7 +423,7 @@ int main(int argc, char** argv) {
   }
   if (verify) {
     uint64_t count = 0;
-    s = twrs::VerifySortedFile(&env, positional[1], &count, nullptr);
+    s = twrs::VerifySortedFile(env, positional[1], &count, nullptr);
     if (!s.ok()) {
       fprintf(stderr, "verify: %s\n", s.ToString().c_str());
       return 1;

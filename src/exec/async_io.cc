@@ -97,6 +97,26 @@ Status AsyncWritableFile::Append(const void* data, size_t n) {
   return Status::OK();
 }
 
+Status AsyncWritableFile::Sync() {
+  TWRS_RETURN_IF_ERROR(status_);
+  if (closed_) {
+    status_ = Status::InvalidArgument("Sync on closed AsyncWritableFile");
+    return status_;
+  }
+  if (pool_ != nullptr) {
+    TWRS_RETURN_IF_ERROR(WaitForInflight());
+    if (active_used_ > 0) {
+      status_ = TimedIo(flush_histogram_, [this] {
+        return base_->Append(active_.data(), active_used_);
+      });
+      active_used_ = 0;
+      TWRS_RETURN_IF_ERROR(status_);
+    }
+  }
+  status_ = base_->Sync();
+  return status_;
+}
+
 Status AsyncWritableFile::Close() {
   if (closed_) return status_;
   closed_ = true;
@@ -203,7 +223,10 @@ Status MakeAsyncRecordWriter(Env* env, const std::string& path,
                              size_t async_buffer_bytes,
                              std::unique_ptr<RecordWriter>* out,
                              LatencyHistogram* flush_histogram) {
-  if (pool == nullptr) {
+  if (pool == nullptr || env->io_capabilities().async_appends) {
+    // Natively async backends (IoUringEnv) already overlap Append with the
+    // caller's compute; wrapping them would only add a copy and a pump
+    // task for overlap the kernel provides.
     *out = std::make_unique<RecordWriter>(env, path, block_bytes);
   } else {
     std::unique_ptr<WritableFile> file;

@@ -41,6 +41,11 @@ class AsyncWritableFile : public WritableFile {
   ~AsyncWritableFile() override;
 
   Status Append(const void* data, size_t n) override;
+
+  /// Flushes both buffer halves to the wrapped file, then forwards the
+  /// Sync so the bytes reach stable storage. Appends may continue after.
+  Status Sync() override;
+
   Status Close() override;
 
   /// Records the wall time of every flush to the wrapped file (background
@@ -122,9 +127,11 @@ class PrefetchingSequentialFile : public SequentialFile {
 };
 
 /// Creates `path` through `env` and returns a RecordWriter over it,
-/// writing through an AsyncWritableFile on `pool` — or synchronously when
-/// `pool` is null. The single construction point for every record stream
-/// that can be background-flushed (run sink streams, merge outputs).
+/// writing through an AsyncWritableFile on `pool` — or directly when
+/// `pool` is null or `env` reports async_appends (a natively async
+/// backend needs no pump thread). The single construction point for every
+/// record stream that can be background-flushed (run sink streams, merge
+/// outputs).
 /// A non-null `flush_histogram` records the wall time of every background
 /// flush (pool mode only); it must outlive the writer.
 Status MakeAsyncRecordWriter(Env* env, const std::string& path,

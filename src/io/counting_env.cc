@@ -29,6 +29,8 @@ class CountingWritableFile : public WritableFile {
     return Status::OK();
   }
 
+  Status Sync() override { return base_->Sync(); }
+
   Status Close() override { return base_->Close(); }
 
  private:
@@ -75,6 +77,8 @@ class CountingRandomRWFile : public RandomRWFile {
     read_counter_.Add(n);
     return Status::OK();
   }
+
+  Status Sync() override { return base_->Sync(); }
 
   Status Close() override { return base_->Close(); }
 

@@ -39,6 +39,7 @@ Status AppendMergeSink::Write(const void* data, size_t n) {
 Status AppendMergeSink::Finish() {
   if (finished_) return status_;
   finished_ = true;
+  if (status_.ok() && sync_on_finish_) status_ = file_->Sync();
   Status close_status = file_->Close();
   if (status_.ok()) status_ = std::move(close_status);
   return status_;
@@ -47,19 +48,23 @@ Status AppendMergeSink::Finish() {
 Status MakeAppendMergeSink(Env* env, const std::string& path, ThreadPool* pool,
                            size_t async_buffer_bytes,
                            std::unique_ptr<MergeSink>* out,
-                           LatencyHistogram* flush_histogram) {
+                           LatencyHistogram* flush_histogram,
+                           bool sync_on_finish) {
   std::unique_ptr<WritableFile> file;
   TWRS_RETURN_IF_ERROR(env->NewWritableFile(path, &file));
-  if (pool != nullptr) {
+  if (pool != nullptr && !env->io_capabilities().async_appends) {
     // Time the background flushes, not the sink's memcpy-into-buffer
-    // Appends: the histogram should see real write I/O.
+    // Appends: the histogram should see real write I/O. Natively async
+    // backends skip the wrap — their Append already overlaps the merge.
     auto async = std::make_unique<AsyncWritableFile>(std::move(file), pool,
                                                      async_buffer_bytes);
     async->set_flush_histogram(flush_histogram);
-    *out = std::make_unique<AppendMergeSink>(std::move(async));
+    *out = std::make_unique<AppendMergeSink>(std::move(async), nullptr,
+                                             sync_on_finish);
     return Status::OK();
   }
-  *out = std::make_unique<AppendMergeSink>(std::move(file), flush_histogram);
+  *out = std::make_unique<AppendMergeSink>(std::move(file), flush_histogram,
+                                           sync_on_finish);
   return Status::OK();
 }
 
@@ -68,12 +73,14 @@ Status MakeAppendMergeSink(Env* env, const std::string& path, ThreadPool* pool,
 RangeMergeSink::RangeMergeSink(std::unique_ptr<RandomRWFile> file,
                                uint64_t offset, uint64_t length,
                                ThreadPool* pool, size_t buffer_bytes,
-                               LatencyHistogram* flush_histogram)
+                               LatencyHistogram* flush_histogram,
+                               bool sync_on_finish)
     : file_(std::move(file)),
       offset_(offset),
       length_(length),
       pool_(pool),
       flush_histogram_(flush_histogram),
+      sync_on_finish_(sync_on_finish),
       flush_pos_(offset) {
   if (pool_ != nullptr) {
     const size_t n = std::max<size_t>(1, buffer_bytes);
@@ -177,6 +184,7 @@ Status RangeMergeSink::Finish() {
         "range merge wrote " + std::to_string(bytes_written_) + " of " +
         std::to_string(length_) + " assigned bytes");
   }
+  if (status_.ok() && sync_on_finish_) status_ = file_->Sync();
   Status close_status = file_->Close();
   if (status_.ok()) status_ = std::move(close_status);
   return status_;
@@ -185,11 +193,17 @@ Status RangeMergeSink::Finish() {
 Status MakeRangeMergeSink(Env* env, const std::string& path, uint64_t offset,
                           uint64_t length, ThreadPool* pool,
                           size_t buffer_bytes, std::unique_ptr<MergeSink>* out,
-                          LatencyHistogram* flush_histogram) {
+                          LatencyHistogram* flush_histogram,
+                          bool sync_on_finish) {
   std::unique_ptr<RandomRWFile> file;
   TWRS_RETURN_IF_ERROR(env->ReopenRandomRWFile(path, &file));
+  // A natively async WriteAt already returns before the bytes land, so the
+  // sink's own double-buffer pool path would only add a copy.
+  ThreadPool* sink_pool =
+      env->io_capabilities().async_positioned_writes ? nullptr : pool;
   *out = std::make_unique<RangeMergeSink>(std::move(file), offset, length,
-                                          pool, buffer_bytes, flush_histogram);
+                                          sink_pool, buffer_bytes,
+                                          flush_histogram, sync_on_finish);
   return Status::OK();
 }
 

@@ -48,9 +48,15 @@ class AppendMergeSink : public MergeSink {
   /// wall time of every Append to `file` is recorded into it — meaningful
   /// when `file` writes synchronously; when `file` is an AsyncWritableFile
   /// attach the histogram there instead (Append here is just a memcpy).
+  /// With `sync_on_finish`, Finish forces the bytes to stable storage
+  /// (WritableFile::Sync) before closing — set on final outputs, not on
+  /// scratch runs that are re-read and deleted minutes later.
   explicit AppendMergeSink(std::unique_ptr<WritableFile> file,
-                           LatencyHistogram* flush_histogram = nullptr)
-      : file_(std::move(file)), flush_histogram_(flush_histogram) {}
+                           LatencyHistogram* flush_histogram = nullptr,
+                           bool sync_on_finish = false)
+      : file_(std::move(file)),
+        flush_histogram_(flush_histogram),
+        sync_on_finish_(sync_on_finish) {}
 
   ~AppendMergeSink() override {
     // Destruction is the unchecked path; Finish() is the checked one and
@@ -65,6 +71,7 @@ class AppendMergeSink : public MergeSink {
  private:
   std::unique_ptr<WritableFile> file_;
   LatencyHistogram* flush_histogram_;
+  const bool sync_on_finish_;
   uint64_t bytes_written_ = 0;
   Status status_;
   bool finished_ = false;
@@ -72,14 +79,17 @@ class AppendMergeSink : public MergeSink {
 
 /// Creates `path` (truncating) and returns an AppendMergeSink over it,
 /// writing through a double-buffered AsyncWritableFile flushed on `pool` —
-/// or synchronously when `pool` is null. A non-null `flush_histogram`
-/// records the wall time of every flush that actually reaches the file
-/// (background flushes with a pool, synchronous appends without); it must
-/// outlive the sink.
+/// or directly when `pool` is null or `env` reports async_appends (a
+/// natively async backend needs no pump thread). A non-null
+/// `flush_histogram` records the wall time of every flush that actually
+/// reaches the file (background flushes with a pool, synchronous appends
+/// without); it must outlive the sink. `sync_on_finish` makes Finish force
+/// the bytes to stable storage before closing.
 Status MakeAppendMergeSink(Env* env, const std::string& path, ThreadPool* pool,
                            size_t async_buffer_bytes,
                            std::unique_ptr<MergeSink>* out,
-                           LatencyHistogram* flush_histogram = nullptr);
+                           LatencyHistogram* flush_histogram = nullptr,
+                           bool sync_on_finish = false);
 
 /// MergeSink that fills the caller-assigned byte range
 /// [offset, offset + length) of a shared output file through
@@ -103,11 +113,13 @@ class RangeMergeSink : public MergeSink {
   /// non-null) must outlive the sink.
   /// A non-null `flush_histogram` records the wall time of every
   /// positioned write to `file` (synchronous and background); it must
-  /// outlive the sink.
+  /// outlive the sink. With `sync_on_finish`, Finish forces the range to
+  /// stable storage (RandomRWFile::Sync) before closing.
   RangeMergeSink(std::unique_ptr<RandomRWFile> file, uint64_t offset,
                  uint64_t length, ThreadPool* pool = nullptr,
                  size_t buffer_bytes = kDefaultAsyncBufferBytes,
-                 LatencyHistogram* flush_histogram = nullptr);
+                 LatencyHistogram* flush_histogram = nullptr,
+                 bool sync_on_finish = false);
 
   /// Abandons unflushed bytes (error-path unwinding); waits for any
   /// in-flight flush and closes the handle. Call Finish for the checked
@@ -135,6 +147,7 @@ class RangeMergeSink : public MergeSink {
   const uint64_t length_;
   ThreadPool* pool_;
   LatencyHistogram* flush_histogram_;
+  const bool sync_on_finish_;
   std::vector<uint8_t> active_;
   std::vector<uint8_t> inflight_;
   size_t active_used_ = 0;
@@ -149,11 +162,14 @@ class RangeMergeSink : public MergeSink {
 /// Opens `path` for positioned writes without truncation and returns a
 /// RangeMergeSink over [offset, offset + length) of it. The file must
 /// already exist (its creator truncates exactly once, before any range
-/// writer starts).
+/// writer starts). When `env` reports async_positioned_writes the sink
+/// skips its own double buffering — the backend's WriteAt already returns
+/// before the bytes land.
 Status MakeRangeMergeSink(Env* env, const std::string& path, uint64_t offset,
                           uint64_t length, ThreadPool* pool,
                           size_t buffer_bytes, std::unique_ptr<MergeSink>* out,
-                          LatencyHistogram* flush_histogram = nullptr);
+                          LatencyHistogram* flush_histogram = nullptr,
+                          bool sync_on_finish = false);
 
 /// WritableFile adapter over a borrowed MergeSink, so block-buffered record
 /// writers (RecordWriter) can emit through any sink. Close finishes the

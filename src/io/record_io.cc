@@ -70,6 +70,10 @@ Status RecordWriter::Finish() {
     buffer_used_ = 0;
     TWRS_RETURN_IF_ERROR(status_);
   }
+  if (sync_on_finish_) {
+    status_ = file_->Sync();
+    TWRS_RETURN_IF_ERROR(status_);
+  }
   status_ = file_->Close();
   return status_;
 }

@@ -43,8 +43,13 @@ class RecordWriter {
   /// through the simd batch codec instead of one record at a time.
   Status AppendBatch(const Key* keys, size_t n);
 
-  /// Flushes remaining buffered records and closes the file.
+  /// Flushes remaining buffered records and closes the file. With
+  /// set_sync_on_finish, first forces the bytes to stable storage.
   Status Finish();
+
+  /// Makes Finish Sync the file before closing. Set on final outputs
+  /// (top-K results, empty sort outputs) — not on scratch runs.
+  void set_sync_on_finish(bool sync) { sync_on_finish_ = sync; }
 
   /// Number of records appended so far.
   uint64_t count() const { return count_; }
@@ -56,6 +61,7 @@ class RecordWriter {
   size_t buffer_used_ = 0;
   uint64_t count_ = 0;
   bool finished_ = false;
+  bool sync_on_finish_ = false;
 };
 
 /// Block-buffered sequential reader of fixed-size records.

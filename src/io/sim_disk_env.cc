@@ -60,6 +60,10 @@ class SimWritableFile : public WritableFile {
     return base_->Append(data, n);
   }
 
+  // No simulated cost: the model charges transfers, and the usual base
+  // (MemEnv) has no volatile cache for Sync to flush.
+  Status Sync() override { return base_->Sync(); }
+
   Status Close() override { return base_->Close(); }
 
  private:
@@ -111,6 +115,8 @@ class SimRandomRWFile : public RandomRWFile {
     model_->Access(file_id_, offset, n);
     return base_->ReadAt(offset, out, n);
   }
+
+  Status Sync() override { return base_->Sync(); }
 
   Status Close() override { return base_->Close(); }
 

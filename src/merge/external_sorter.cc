@@ -107,12 +107,25 @@ Status ExternalSorter::SortInternal(RecordSource* source,
                                     const std::string& output_path,
                                     const MergeOutputRange& range,
                                     ExternalSortResult* result) {
+  // A non-default io_backend swaps the constructor-injected Env for the
+  // requested process-wide backend before any file is touched. kUring on
+  // an unsupported kernel/build fails the whole sort here — loudly, not
+  // with a mid-sort surprise.
+  Env* base_env = env_;
+  if (options_.io_backend != IoBackend::kDefault) {
+    IoBackend resolved = IoBackend::kDefault;
+    TWRS_RETURN_IF_ERROR(ResolveIoBackend(options_.io_backend, &resolved));
+    if (resolved != IoBackend::kDefault) {
+      base_env = Env::Default(resolved);
+    }
+  }
+
   // All engine I/O (runs, intermediate merges, output) goes through a
   // counting decorator so the result can report real byte volume. The
   // output path is watched so the error path knows whether this sort
   // truncated it (in range mode the file belongs to the caller and is
   // only ever reopened, so the watch never fires).
-  CountingEnv env(env_);
+  CountingEnv env(base_env);
   env.WatchPath(output_path);
   if (options_.progress != nullptr && options_.progress_bytes) {
     env.MirrorBytesTo(options_.progress->bytes_read_counter(),

@@ -80,7 +80,9 @@ Status RunCursor::Advance() {
         // construction point, so the skip must land on the raw handle.
         TWRS_RETURN_IF_ERROR(file->Skip(skip_remaining_ * kRecordBytes));
       }
-      if (prefetch_blocks_ > 0) {
+      if (prefetch_blocks_ > 0 && !env_->io_capabilities().async_reads) {
+        // A natively async backend (IoUringEnv) already keeps read-ahead
+        // blocks in flight; a pump thread on top would only add a copy.
         file = std::make_unique<PrefetchingSequentialFile>(
             std::move(file), block_bytes_, prefetch_blocks_);
       }
@@ -306,7 +308,8 @@ Status KWayMergeToFile(Env* env, const std::vector<RunInfo>& runs,
   std::unique_ptr<MergeSink> sink;
   TWRS_RETURN_IF_ERROR(MakeAppendMergeSink(env, output_path, io.pool,
                                            io.async_buffer_bytes, &sink,
-                                           io.flush_histogram));
+                                           io.flush_histogram,
+                                           io.sync_output));
   TWRS_RETURN_IF_ERROR(KWayMergeToSink(env, runs, io, sink.get(), out));
   if (out != nullptr) out->segments[0].path = output_path;
   return Status::OK();
@@ -339,7 +342,8 @@ Status KWayMergeLimitToFile(Env* env, const std::vector<RunInfo>& runs,
   std::unique_ptr<MergeSink> sink;
   TWRS_RETURN_IF_ERROR(MakeAppendMergeSink(env, output_path, io.pool,
                                            io.async_buffer_bytes, &sink,
-                                           io.flush_histogram));
+                                           io.flush_histogram,
+                                           io.sync_output));
   TWRS_RETURN_IF_ERROR(MergeCursorsToSink(&cursors, io, window, sink.get(),
                                           out));
   if (out != nullptr) out->segments[0].path = output_path;

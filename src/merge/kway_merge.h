@@ -50,6 +50,12 @@ struct MergeIoOptions {
   /// recorded here (see MakeAppendMergeSink/RangeMergeSink). Must outlive
   /// the merge.
   LatencyHistogram* flush_histogram = nullptr;
+
+  /// Force the merge output to stable storage (Sync) before it is closed.
+  /// Set only on the final pass writing the user-visible output;
+  /// intermediate runs are re-read and deleted, so syncing them would buy
+  /// nothing but write stalls.
+  bool sync_output = false;
 };
 
 /// Streaming cursor over one generated run: iterates its segments in order,

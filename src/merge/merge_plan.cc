@@ -54,6 +54,7 @@ Status MergeRuns(Env* env, std::vector<RunInfo> runs,
     // Sorting an empty input produces an empty output file.
     RecordWriter writer(env, output_path, options.block_bytes);
     TWRS_RETURN_IF_ERROR(writer.status());
+    writer.set_sync_on_finish(options.sync_output);
     TWRS_RETURN_IF_ERROR(writer.Finish());
     if (stats != nullptr) *stats = local;
     return Status::OK();
@@ -139,8 +140,14 @@ Status MergeRuns(Env* env, std::vector<RunInfo> runs,
   final_spec.take_last = options.limit_last;
   MergePruneStats prune;
   final_spec.prune = &prune;
-  TWRS_RETURN_IF_ERROR(FinalMergeToOutput(env, final_batch, io, final_spec,
-                                          output_path, &final_run));
+  // The final pass writes the user-visible output — the one place the
+  // durability knob applies. Intermediate passes above used io with
+  // sync_output's default (false).
+  MergeIoOptions final_io = io;
+  final_io.sync_output = options.sync_output;
+  TWRS_RETURN_IF_ERROR(FinalMergeToOutput(env, final_batch, final_io,
+                                          final_spec, output_path,
+                                          &final_run));
   ++local.merge_steps;
   local.records_written += final_run.length;
   local.runs_pruned = prune.runs_pruned;

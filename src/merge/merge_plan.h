@@ -72,6 +72,13 @@ struct MergeOptions {
   /// shard's merge lands directly in the sharded sorter's shared output.
   MergeOutputRange output_range;
 
+  /// Force the final output to stable storage (Sync) before it is closed,
+  /// closing the durability gap between "sort returned OK" and "the page
+  /// cache got around to writing". Applies to the final pass only;
+  /// intermediate runs are scratch and never synced. No-op on MemEnv and
+  /// SimDiskEnv.
+  bool sync_output = true;
+
   /// Live progress: every record emitted by any merge pass is added (in
   /// batches) to `progress->AddRecordsMerged`. Must outlive the merge.
   ProgressCounters* progress = nullptr;

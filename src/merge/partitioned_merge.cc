@@ -251,11 +251,13 @@ Status PrunedSerialMerge(Env* env, const std::vector<RunInfo>& runs,
                                             spec.range.offset,
                                             spec.range.length, io.pool,
                                             io.async_buffer_bytes, &sink,
-                                            io.flush_histogram));
+                                            io.flush_histogram,
+                                            io.sync_output));
   } else {
     TWRS_RETURN_IF_ERROR(MakeAppendMergeSink(env, output_path, io.pool,
                                              io.async_buffer_bytes, &sink,
-                                             io.flush_histogram));
+                                             io.flush_histogram,
+                                             io.sync_output));
   }
   TWRS_RETURN_IF_ERROR(MergeCursorsToSink(&cursors, io, window, sink.get(),
                                           out));
@@ -421,7 +423,8 @@ Status FinalMergeToOutput(Env* env, const std::vector<RunInfo>& runs,
                                             spec.range.offset,
                                             spec.range.length, io.pool,
                                             io.async_buffer_bytes, &sink,
-                                            io.flush_histogram));
+                                            io.flush_histogram,
+                                            io.sync_output));
     TWRS_RETURN_IF_ERROR(KWayMergeToSink(env, runs, io, sink.get(), out));
     if (out != nullptr) out->segments[0].path = output_path;
     return Status::OK();
@@ -517,7 +520,8 @@ Status FinalMergeToOutput(Env* env, const std::vector<RunInfo>& runs,
           std::unique_ptr<MergeSink> sink;
           TWRS_RETURN_IF_ERROR(MakeRangeMergeSink(
               env, output_path, partition_offset, length, io.pool,
-              io.async_buffer_bytes, &sink, io.flush_histogram));
+              io.async_buffer_bytes, &sink, io.flush_histogram,
+              io.sync_output));
           return MergePartition(env, runs, *partition_slices, io, *window,
                                 sink.get());
         }));

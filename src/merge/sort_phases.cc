@@ -5,6 +5,7 @@
 
 #include "core/run_generator.h"
 #include "exec/executor.h"
+#include "io/uring_env.h"
 #include "simd/dispatch.h"
 #include "util/stopwatch.h"
 
@@ -250,8 +251,10 @@ Status FinalMergePhase::Run(SortContext* context) {
           ->Increment(context->result.merge.records_pruned);
     }
     // Mirror the per-kernel dispatch counters so the job's registry shows
-    // which simd paths this sort actually executed.
+    // which simd paths this sort actually executed, and the io_uring
+    // submission/completion counters for sorts on the uring backend.
     simd::PublishKernelCounters(context->metrics);
+    PublishIoUringCounters(context->metrics);
   }
   const uint64_t total = context->result.run_gen.total_records;
   context->result.output_records =

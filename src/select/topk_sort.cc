@@ -55,6 +55,9 @@ Status DualHeapSelectToFile(Env* env, const ExternalSortOptions& options,
   const std::vector<Key> selected = selector.Take();
   RecordWriter writer(env, output_path, options.block_bytes);
   TWRS_RETURN_IF_ERROR(writer.status());
+  // The selection writes the user-visible output directly — same durability
+  // contract as the final merge pass of a full sort.
+  writer.set_sync_on_finish(true);
   TWRS_RETURN_IF_ERROR(writer.AppendBatch(selected.data(), selected.size()));
   TWRS_RETURN_IF_ERROR(writer.Finish());
   result->output_records = writer.count();
